@@ -1,0 +1,20 @@
+"""Fig. 4b (motivation): dequantization under the original warp layout.
+
+Nsight-style micro comparison of the same low-bit kernel with and without
+its dequantization instructions, under FlashAttention's original Wn=1
+partitioning: adding DQ must depress compute throughput and Tensor-Core
+utilization while raising memory-stall exposure.
+"""
+
+from repro.bench.figures import fig4_motivation
+
+
+def test_fig4_motivation(run):
+    exp = run(fig4_motivation)
+    exp.show()
+    wo = exp.series["W/O Dequant"]
+    w = exp.series["W/ Dequant"]
+
+    assert w.value_at("TCs utilization") < wo.value_at("TCs utilization")
+    assert w.value_at("Com. Throughput") < wo.value_at("Com. Throughput")
+    assert w.value_at("Memory Stalls") > wo.value_at("Memory Stalls")

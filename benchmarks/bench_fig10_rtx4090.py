@@ -1,0 +1,42 @@
+"""Fig. 10: the six-panel RTX 4090 evaluation (Single/Batches/Pages x
+MHA/GQA).
+
+Paper anchors: ~4x at 4-bit and >7x at 2-bit in Single and Batches; in the
+Pages setting BitDecoding exceeds 6x on MHA where QServe reaches 3.5x, and
+holds ~3x on GQA where QServe collapses to 1.4x.
+"""
+
+from repro.bench import assert_monotonic_increase, assert_ordering, assert_within
+from repro.bench.figures import fig10_rtx4090
+
+
+def test_fig10_rtx4090(run):
+    exp = run(fig10_rtx4090)
+    exp.show()
+
+    # Single sweeps rise with context and land in the paper bands.
+    assert_monotonic_increase(exp, "Single-MHA/KC-4")
+    assert_monotonic_increase(exp, "Single-MHA/KC-2")
+    assert_within(exp, "Single-MHA/KC-4", 102400, 2.5, 6.5)
+    assert_within(exp, "Single-MHA/KC-2", 102400, 4.5, 10.0)
+
+    # BitDecoding beats the non-fused KIVI at matched bit width.
+    for seq in (10240, 102400):
+        assert_ordering(exp, seq, "Single-MHA/KC-4", "Single-MHA/KIVI-4")
+        assert_ordering(exp, seq, "Single-MHA/KC-2", "Single-MHA/KIVI-2")
+
+    # KIVI collapses under GQA; BitDecoding does not.
+    kivi_mha = exp.series["Single-MHA/KIVI-4"].value_at(102400)
+    kivi_gqa = exp.series["Single-GQA/KIVI-4"].value_at(102400)
+    assert kivi_gqa < 0.6 * kivi_mha
+    assert exp.series["Single-GQA/KC-4"].value_at(102400) > 2.0
+
+    # Pages: BitDecoding beats the CUDA-core systems; QServe's GQA collapse.
+    for bs in (2, 4, 8):
+        assert_ordering(exp, bs, "Pages-MHA/KC-4", "Pages-MHA/QServe")
+        assert_ordering(exp, bs, "Pages-GQA/KC-4", "Pages-GQA/QServe")
+        assert_ordering(exp, bs, "Pages-MHA/KC-4", "Pages-MHA/Atom")
+    qserve_mha = exp.series["Pages-MHA/QServe"].value_at(8)
+    qserve_gqa = exp.series["Pages-GQA/QServe"].value_at(8)
+    assert qserve_gqa < 0.8 * qserve_mha
+    assert qserve_mha > 2.0  # paper: 3.5x

@@ -1,0 +1,43 @@
+"""Fig. 11: A100 — high bandwidth exposes compute-side weaknesses.
+
+Paper anchors: BitDecoding up to ~3x; KIVI and QServe can drop *below* the
+FP16 baseline; the 4-bit-vs-2-bit gap narrows compared with the RTX 4090.
+"""
+
+from repro.bench import assert_ordering, assert_within
+from repro.bench.figures import fig10_rtx4090, fig11_a100
+
+
+def test_fig11_a100(run):
+    exp = run(fig11_a100)
+    exp.show()
+
+    # BitDecoding wins everywhere.
+    for seq in (10240, 102400):
+        assert_ordering(exp, seq, "Single/KC-4", "Single/KIVI-4", margin=1.5)
+    assert_within(exp, "Single/KC-4", 102400, 2.0, 6.0)
+
+    # KIVI under-performs the FP16 baseline on this machine.
+    assert exp.series["Single/KIVI-4"].value_at(102400) < 1.2
+    assert exp.series["Batches/KIVI-4"].value_at(32) < 1.2
+
+    # QServe hovers at or below the baseline in the Pages setting.
+    for bs in (8, 16, 32, 64):
+        assert exp.series["Pages/QServe"].value_at(bs) < 1.6
+        assert_ordering(exp, bs, "Pages/KC-4", "Pages/QServe", margin=2.0)
+
+
+def test_fig11_gap_narrows_vs_rtx4090(run):
+    """The paper's closing observation: 2-bit's edge over 4-bit shrinks on
+    the A100 because abundant bandwidth shifts kernels compute-side."""
+    a100 = run(fig11_a100)
+    ada = fig10_rtx4090()
+    gap_a100 = (
+        a100.series["Single/KC-2"].value_at(102400)
+        / a100.series["Single/KC-4"].value_at(102400)
+    )
+    gap_ada = (
+        ada.series["Single-MHA/KC-2"].value_at(102400)
+        / ada.series["Single-MHA/KC-4"].value_at(102400)
+    )
+    assert gap_a100 < gap_ada

@@ -1,0 +1,33 @@
+"""Fig. 12: end-to-end LLaMA-3.1-8B vs the non-fused KIVI (A100).
+
+Paper anchors: (a) single-batch latency speedup grows with context, with
+KIVI OOMing at 128K; (b) batched throughput orders BitDecoding-KC-2 >
+KC-4 > KIVI variants, with KIVI capped below BitDecoding.
+"""
+
+import math
+
+from repro.bench import assert_monotonic_increase, assert_ordering
+from repro.bench.figures import fig12_e2e_kivi
+
+
+def test_fig12_e2e_kivi(run):
+    exp = run(fig12_e2e_kivi)
+    exp.show()
+
+    # (a) Latency speedup rises with context length.
+    assert_monotonic_increase(exp, "Single/BitDecoding-KC-4")
+    assert exp.series["Single/BitDecoding-KC-4"].value_at(131072) > 1.5
+
+    # KIVI OOMs at 128K (NaN marks the paper's OOM bar).
+    assert math.isnan(exp.series["Single/Kivi-4"].value_at(131072))
+    assert not math.isnan(exp.series["Single/Kivi-4"].value_at(65536))
+
+    # (b) Throughput ordering at every batch point.
+    for bs in (10, 30, 50):
+        assert_ordering(exp, bs, "Batches/BitDecoding-KC-2", "Batches/BitDecoding-KC-4")
+        assert_ordering(exp, bs, "Batches/BitDecoding-KC-4", "Batches/Kivi-4")
+        assert_ordering(exp, bs, "Batches/Kivi-2", "Batches/FlashDecoding-v2")
+
+    # Throughput grows with batch (weights amortize).
+    assert_monotonic_increase(exp, "Batches/BitDecoding-KC-4")

@@ -1,0 +1,34 @@
+"""Fig. 13: pages-mode serving throughput vs QServe across five models.
+
+Paper numbers (tokens/s) are attached to every bar; the reproduction
+contract is the ordering structure: QServe beats FlashDecoding-v2 *only*
+on the MHA model (LLaMA-2-7B), loses on every GQA model, and BitDecoding
+delivers >2x QServe's throughput everywhere.
+"""
+
+from repro.bench.figures import FIG13_PAPER, fig13_e2e_qserve
+
+
+def test_fig13_e2e_qserve(run):
+    exp = run(fig13_e2e_qserve)
+    exp.show()
+    fd = exp.series["FlashDecoding-v2"]
+    qs = exp.series["Qserve"]
+    bd = exp.series["Bitdecoding"]
+
+    # QServe wins only on the MHA model.
+    assert qs.value_at("llama-2-7B") > fd.value_at("llama-2-7B")
+    for model in ("llama-3.1-8B", "llama-3.1-70B", "Qwen3-8B", "Qwen3-14B"):
+        assert qs.value_at(model) < fd.value_at(model), model
+
+    # BitDecoding: > 2x QServe on every model (paper: "more than 2x").
+    for model in FIG13_PAPER:
+        assert bd.value_at(model) > 2.0 * qs.value_at(model), model
+
+    # And strictly above the FP16 baseline everywhere.
+    for model in FIG13_PAPER:
+        assert bd.value_at(model) > fd.value_at(model), model
+
+    # The multi-GPU 70B row is the slowest in absolute terms for BD/FDv2,
+    # mirroring the paper's ordering across models.
+    assert bd.value_at("llama-3.1-70B") < bd.value_at("llama-3.1-8B")

@@ -1,0 +1,33 @@
+"""Fig. 14: runtime overhead of the half-precision residual KV cache.
+
+Paper numbers are attached per point.  The contract: the W/-vs-W/O gap is
+a near-constant extra kernel launch (paper ~17us) whose relative cost
+vanishes as the context grows, while INT4 holds a multi-x advantage over
+FP16 at long context.
+"""
+
+from repro.bench.figures import FIG14_PAPER, fig14_residual_overhead
+
+
+def test_fig14_residual_overhead(run):
+    exp = run(fig14_residual_overhead)
+    exp.show()
+    fp16 = exp.series["FP16 FlashDecoding-v2"]
+    without = exp.series["INT4 W/O Residual"]
+    with_res = exp.series["INT4 W/ Residual"]
+
+    gaps = []
+    for seq in FIG14_PAPER:
+        # Ordering at every length: fp16 > with-residual > without.
+        assert fp16.value_at(seq) > with_res.value_at(seq) > without.value_at(seq)
+        gaps.append(with_res.value_at(seq) - without.value_at(seq))
+
+    # The residual overhead is near-constant across a 32x length sweep...
+    assert max(gaps) < 2.5 * min(gaps)
+    # ...and becomes a vanishing fraction at long context.
+    frac_4k = gaps[0] / with_res.value_at(4096)
+    frac_128k = gaps[-1] / with_res.value_at(131072)
+    assert frac_128k < 0.5 * frac_4k
+
+    # Long-context speedup in the paper's decade (2.6x at 128K there).
+    assert 2.0 < fp16.value_at(131072) / with_res.value_at(131072) < 7.0

@@ -1,0 +1,35 @@
+"""Fig. 15: dequantization overhead analysis.
+
+(a) Fraction of kernel time attributable to dequantization: the CUDA-core
+systems (Atom, QServe) burn a large share on it; BitDecoding hides it
+under Tensor-Core MMAs (paper: <15% at 4-bit, <35% at 2-bit).
+(b) Micro analysis: Atom shows zero Tensor-Core activity and high FMA/ALU
+pressure; BitDecoding runs closer to the memory roofline with real TC use.
+"""
+
+from repro.bench.figures import fig15_dequant_overhead
+
+
+def test_fig15_dequant_overhead(run):
+    exp = run(fig15_dequant_overhead)
+    exp.show()
+    frac = exp.series["DequantFraction"]
+
+    # CUDA-core-only systems pay far more than BitDecoding.
+    assert frac.value_at("Atom") > 2.0 * frac.value_at("B-KC-4")
+    assert frac.value_at("Qserve") > 1.5 * frac.value_at("B-KC-4")
+
+    # BitDecoding stays within the paper's ceilings.
+    assert frac.value_at("B-KT-4") < 0.20
+    assert frac.value_at("B-KC-4") < 0.20
+    assert frac.value_at("B-KC-2") < 0.40
+    # 2-bit costs more dequant than 4-bit (more unpack logic per value).
+    assert frac.value_at("B-KC-2") > frac.value_at("B-KC-4")
+
+    # Micro analysis: Atom has no TC activity; BitDecoding does.
+    atom = exp.series["Micro/Atom"]
+    bd = exp.series["Micro/BitDecoding"]
+    assert atom.value_at("Tensor Core") == 0.0
+    assert bd.value_at("Tensor Core") > 10.0
+    # Atom's CUDA pipes are busier than BitDecoding's.
+    assert atom.value_at("FMA") + atom.value_at("ALU") > bd.value_at("FMA") + bd.value_at("ALU")

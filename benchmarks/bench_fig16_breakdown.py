@@ -1,0 +1,33 @@
+"""Fig. 16: breakdown of BitDecoding's optimizations across generations.
+
+Starting from the continuous-packing baseline, the three design stages —
+induced layouts, the wide-Wn warp parallelism, and the software pipeline —
+must each add speedup, on the A100 (v2 path), H100 (v3 path) and RTX 5090
+(native-FP4 path) alike.
+"""
+
+from repro.bench.figures import fig16_breakdown
+
+STAGES = (
+    "Baseline (Continuous Packing)",
+    "Layout",
+    "Layout + Warps",
+    "Layout + Warps + Pipeline",
+)
+
+
+def test_fig16_breakdown(run):
+    exp = run(fig16_breakdown)
+    exp.show()
+    for device in ("a100", "h100", "rtx5090"):
+        ladder = [exp.series[s].value_at(device) for s in STAGES]
+        # Monotone ladder (pipeline adds least; allow float slack).
+        for lower, upper in zip(ladder, ladder[1:]):
+            assert upper >= lower * 0.99, (device, ladder)
+        # The full system is a large multiple of the baseline.
+        assert ladder[-1] > 2.5 * ladder[0], (device, ladder)
+
+    # Newer generations benefit more from the full stack (paper's shape).
+    full = {d: exp.series[STAGES[-1]].value_at(d) for d in ("a100", "h100", "rtx5090")}
+    assert full["h100"] > full["a100"]
+    assert full["rtx5090"] > full["a100"]

@@ -1,0 +1,42 @@
+"""Extension bench: speculative-verification amortization.
+
+Not a paper figure — an extension the paper's query-transform design makes
+natural (Sec. V-A: grouped heads fill the MMA's M dimension; draft tokens
+stack the same way).  Verifying n draft tokens in one pass streams the
+packed cache once, so per-token attention cost falls until the M tile
+saturates.
+"""
+
+from repro.core.attention import BitDecoding
+from repro.core.config import AttentionGeometry, BitDecodingConfig
+from repro.gpu.arch import get_arch
+
+
+def _amortization(arch_name: str = "a100", seq: int = 32768):
+    arch = get_arch(arch_name)
+    engine = BitDecoding(BitDecodingConfig(bits=4), arch)
+    single = engine.decode_time_ms(AttentionGeometry(1, 32, 8, seq, 128))
+    rows = {}
+    for n in (1, 2, 4, 8, 16):
+        geom = AttentionGeometry(1, 32, 8, seq, 128, q_len=n)
+        rows[n] = (engine.decode_time_ms(geom), n * single)
+    return rows
+
+
+def test_speculative_amortization(run):
+    rows = run(_amortization)
+    print("\ndraft-n: one-pass ms vs n x single-token ms")
+    for n, (one_pass, n_singles) in rows.items():
+        print(f"  {n:>2}: {one_pass:8.4f} vs {n_singles:8.4f}")
+
+    # One n-token pass always beats n single-token passes...
+    for n, (one_pass, n_singles) in rows.items():
+        if n > 1:
+            assert one_pass < n_singles
+    # ...and the advantage grows with the draft length.
+    gain = {n: n_singles / one_pass for n, (one_pass, n_singles) in rows.items()}
+    assert gain[4] > gain[2] > 1.0
+    assert gain[16] > gain[4]
+    # A 16-token verification costs well under 2x a single decode: the M
+    # dimension rides the already-padded MMA tile.
+    assert rows[16][0] < 2.0 * rows[1][0]

@@ -1,0 +1,32 @@
+"""Table II: quantization + packing latency during inference (128K).
+
+Paper (ms): Marlin 58.02 prefill / 0.41 decode; Ladder 4.79 / 0.65;
+BitDecoding 0.0599 / 0.008.  The mechanism contract: weight-oriented
+repacking (host round trips, static-shape transforms) costs orders of
+magnitude more than BitDecoding's fused in-register quantize+pack.
+"""
+
+from repro.bench.figures import table2_quantpack
+
+
+def test_table2_quantpack(run):
+    exp = run(table2_quantpack)
+    exp.show()
+    marlin = exp.series["Marlin"]
+    ladder = exp.series["Ladder"]
+    bitdec = exp.series["BitDecoding"]
+
+    # Prefill: Marlin >> Ladder >> BitDecoding, each by >5x.
+    assert marlin.value_at("Prefill") > 5 * ladder.value_at("Prefill")
+    assert ladder.value_at("Prefill") > 5 * bitdec.value_at("Prefill")
+
+    # Paper-decade bands.
+    assert 30 < marlin.value_at("Prefill") < 120
+    assert 1.5 < ladder.value_at("Prefill") < 10
+    assert bitdec.value_at("Prefill") < 0.3
+
+    # Decode: the pre-transform systems pay per-token; BitDecoding's fused
+    # flush is near-free.
+    assert 0.1 < marlin.value_at("Decode") < 1.0
+    assert 0.1 < ladder.value_at("Decode") < 1.5
+    assert bitdec.value_at("Decode") < 0.02

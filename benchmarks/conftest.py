@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Every benchmark reproduces one paper artifact: it runs the experiment once
+under ``pytest-benchmark`` timing, prints the paper-vs-measured table, and
+asserts the qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Benchmark one experiment function and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run(benchmark):
+    """Fixture wrapping :func:`run_experiment` for terse benchmark bodies."""
+
+    def _run(fn, *args, **kwargs):
+        return run_experiment(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,58 @@
+"""Kernel speedup sweep across GPU generations (the Figs. 8-11 picture).
+
+For each registered device, sweeps sequence length at batch 1 (the Single
+setting) and batch size at 8K (the Batches setting) and prints the
+BitDecoding speedup over FP16 FlashDecoding-v2, picking each device's best
+kernel path automatically (v2 / v3 / native FP4).
+
+Run:  python examples/kernel_speedup_sweep.py
+"""
+
+from repro import AttentionGeometry, BitDecoding, BitDecodingConfig, get_arch
+from repro.baselines import FlashDecodingV2
+from repro.core.arch_support import resolve_version
+from repro.gpu.arch import GPU_REGISTRY
+
+SEQS = (8192, 32768, 131072)
+BATCHES = (8, 32, 128)
+
+
+def best_engine(arch) -> BitDecoding:
+    version = resolve_version(arch)
+    if version == "fp4":
+        config = BitDecodingConfig(version="fp4", fp4_format="mxfp4")
+    else:
+        config = BitDecodingConfig(bits=4, granularity="channel", version=version)
+    return BitDecoding(config, arch)
+
+
+def main() -> None:
+    for name in sorted(GPU_REGISTRY):
+        arch = get_arch(name)
+        engine = best_engine(arch)
+        baseline = FlashDecodingV2(arch)
+        print(f"\n{arch.name} ({arch.generation}) — {engine.config.short_name}")
+
+        print("  Single (bs=1, hq=32, hkv=8, d=128):")
+        for seq in SEQS:
+            geom = AttentionGeometry(1, 32, 8, seq, 128)
+            ref = baseline.decode_time_ms(geom)
+            ours = engine.decode_time_ms(geom)
+            print(
+                f"    {seq:>7} tokens: {ref:8.4f} ms -> {ours:8.4f} ms "
+                f"({ref / ours:4.2f}x)"
+            )
+
+        print("  Batches (len=8k):")
+        for bs in BATCHES:
+            geom = AttentionGeometry(bs, 32, 8, 8192, 128)
+            ref = baseline.decode_time_ms(geom)
+            ours = engine.decode_time_ms(geom)
+            print(
+                f"    batch {bs:>3}: {ref:8.4f} ms -> {ours:8.4f} ms "
+                f"({ref / ours:4.2f}x)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Speculative decoding over a low-bit KV cache.
+
+A draft model proposes n tokens; the target model verifies all n in ONE
+attention pass over the quantized cache (queries for positions L..L+n-1,
+causal within the draft tail).  Because grouped-query heads already stack
+into the MMA's M dimension, a draft of n tokens just makes the tile
+``n x gq`` rows tall — the Tensor-Core tiles finally fill up, and the
+packed cache is streamed once instead of n times.
+
+Run:  python examples/speculative_decoding.py
+"""
+
+import numpy as np
+
+from repro import AttentionGeometry, BitDecoding, BitDecodingConfig, get_arch
+from repro.core.softmax import reference_attention
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    arch = get_arch("a100")
+    engine = BitDecoding(BitDecodingConfig(bits=4), arch)
+    batch, hkv, hq, seq, d, n_draft = 1, 8, 32, 2048, 128, 4
+
+    k = rng.standard_normal((batch, hkv, seq, d)).astype(np.float16)
+    v = rng.standard_normal((batch, hkv, seq, d)).astype(np.float16)
+    cache = engine.prefill(k, v)
+
+    # The "draft model" proposes 4 tokens.
+    q = rng.standard_normal((batch, n_draft, hq, d)).astype(np.float16)
+    k_draft = rng.standard_normal((batch, hkv, n_draft, d)).astype(np.float16)
+    v_draft = rng.standard_normal((batch, hkv, n_draft, d)).astype(np.float16)
+
+    out = engine.decode_speculative(q, k_draft, v_draft, cache)
+    print(f"verified {n_draft} draft tokens in one pass -> output {out.shape}")
+
+    # Check position 2 against a dense reference (cache + draft[:3]).
+    gq = hq // hkv
+    h = 5
+    k_ctx = np.concatenate(
+        [k[0, h // gq].astype(np.float32), k_draft[0, h // gq, :3].astype(np.float32)]
+    )
+    v_ctx = np.concatenate(
+        [v[0, h // gq].astype(np.float32), v_draft[0, h // gq, :3].astype(np.float32)]
+    )
+    ref = reference_attention(q[0, 2, h : h + 1].astype(np.float32), k_ctx, v_ctx)
+    print(f"position-2 head-{h} max error vs dense reference: "
+          f"{np.abs(out[0, 2, h] - ref[0]).max():.4f}")
+
+    # Perf model: one n-token verification pass vs n single-token decodes.
+    print("\nsimulated cost on A100 (32K context, LLaMA-3.1-8B heads):")
+    for n in (1, 2, 4, 8, 16):
+        geom = AttentionGeometry(1, 32, 8, 32768, 128, q_len=n)
+        pass_ms = engine.decode_time_ms(geom)
+        single = engine.decode_time_ms(AttentionGeometry(1, 32, 8, 32768, 128))
+        print(
+            f"  draft {n:>2}: one pass {pass_ms:7.4f} ms vs {n} x single "
+            f"{n * single:7.4f} ms ({n * single / pass_ms:4.2f}x amortization)"
+        )
+
+    # Accept-and-commit: the cache grows by the accepted tokens.
+    engine.decode_speculative(q, k_draft, v_draft, cache, commit=True)
+    print(f"\nafter commit: cache length {cache.seq_len} (was {seq})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""BitDecoding reproduction: low-bit KV-cache decoding with Tensor Cores.
+
+A full-system Python reproduction of *BitDecoding: Unlocking Tensor Cores
+for Long-Context LLMs with Low-Bit KV Cache* (HPCA 2026).  The package
+pairs bit-exact numerics (quantization, fragment-layout packing,
+cooperative softmax) with a trace-driven GPU performance model that
+reproduces the paper's evaluation across Ampere/Ada/Hopper/Blackwell.
+
+Quickstart::
+
+    import numpy as np
+    from repro import BitDecoding, BitDecodingConfig, get_arch
+
+    engine = BitDecoding(BitDecodingConfig(bits=4), get_arch("a100"))
+    k = np.random.randn(1, 8, 1024, 128).astype(np.float16)
+    v = np.random.randn(1, 8, 1024, 128).astype(np.float16)
+    cache = engine.prefill(k, v)
+    q = np.random.randn(1, 1, 32, 128).astype(np.float16)
+    out = engine.decode(q, cache)
+"""
+
+from repro.core import (
+    AttentionGeometry,
+    BitDecoding,
+    BitDecodingConfig,
+    BitKVCache,
+    QuantScheme,
+)
+from repro.gpu import ArchSpec, get_arch
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AttentionGeometry",
+    "BitDecoding",
+    "BitDecodingConfig",
+    "BitKVCache",
+    "QuantScheme",
+    "ArchSpec",
+    "get_arch",
+    "__version__",
+]

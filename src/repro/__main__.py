@@ -1,0 +1,123 @@
+"""Command-line entry point: quick tours of the reproduction.
+
+Usage::
+
+    python -m repro devices                 # registered GPU table
+    python -m repro demo                    # tiny numerics demo
+    python -m repro sweep [--arch a100]     # kernel speedup sweep
+    python -m repro experiment fig10        # run one paper experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_devices() -> None:
+    from repro.gpu.arch import GPU_REGISTRY
+
+    header = (
+        f"{'name':<14} {'gen':<10} {'SMs':>4} {'GB/s':>6} {'TC fp16':>8} "
+        f"{'TC fp4':>7} {'mem GB':>7} {'wgmma':>6} {'fp4':>4}"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in GPU_REGISTRY.values():
+        print(
+            f"{spec.name:<14} {spec.generation:<10} {spec.sm_count:>4} "
+            f"{spec.dram_bw_gbs:>6.0f} {spec.tc_fp16_tflops:>8.1f} "
+            f"{spec.tc_fp4_tflops:>7.1f} {spec.memory_gb:>7.0f} "
+            f"{str(spec.has_wgmma):>6} {str(spec.has_native_fp4):>4}"
+        )
+
+
+def _cmd_demo() -> None:
+    from repro import BitDecoding, BitDecodingConfig, get_arch
+    from repro.core.softmax import reference_attention
+
+    rng = np.random.default_rng(0)
+    engine = BitDecoding(BitDecodingConfig(bits=4), get_arch("a100"))
+    k = rng.standard_normal((1, 2, 400, 64)).astype(np.float16)
+    v = rng.standard_normal((1, 2, 400, 64)).astype(np.float16)
+    cache = engine.prefill(k, v)
+    q = rng.standard_normal((1, 1, 8, 64)).astype(np.float16)
+    out = engine.decode(q, cache)
+    ref = reference_attention(
+        q[0, 0, 0:1].astype(np.float32), k[0, 0].astype(np.float32), v[0, 0].astype(np.float32)
+    )
+    print(f"cache: {cache.packed_len()} packed + {cache.res_len()} residual tokens")
+    print(f"compression: {cache.compression_ratio():.2f}x")
+    print(f"head-0 max error vs FP16: {np.abs(out[0, 0, 0] - ref[0]).max():.4f}")
+
+
+def _cmd_sweep(arch: str) -> None:
+    from repro import AttentionGeometry, BitDecoding, BitDecodingConfig, get_arch
+    from repro.baselines import FlashDecodingV2
+    from repro.core.arch_support import resolve_version
+
+    spec = get_arch(arch)
+    version = resolve_version(spec)
+    config = (
+        BitDecodingConfig(version="fp4")
+        if version == "fp4"
+        else BitDecodingConfig(bits=4, version=version)
+    )
+    engine = BitDecoding(config, spec)
+    baseline = FlashDecodingV2(spec)
+    print(f"{spec.name}: {engine.config.short_name} vs FP16 FlashDecoding-v2")
+    for seq in (8192, 32768, 131072):
+        geom = AttentionGeometry(1, 32, 8, seq, 128)
+        ratio = baseline.decode_time_ms(geom) / engine.decode_time_ms(geom)
+        print(f"  seq {seq:>7}: {ratio:.2f}x")
+
+
+def _cmd_experiment(name: str) -> None:
+    from repro.bench import figures
+
+    lookup = {
+        "fig4": figures.fig4_motivation,
+        "fig8": figures.fig8_blackwell,
+        "fig9": figures.fig9_hopper,
+        "fig10": figures.fig10_rtx4090,
+        "fig11": figures.fig11_a100,
+        "fig12": figures.fig12_e2e_kivi,
+        "fig13": figures.fig13_e2e_qserve,
+        "fig14": figures.fig14_residual_overhead,
+        "fig15": figures.fig15_dequant_overhead,
+        "fig16": figures.fig16_breakdown,
+        "table1": figures.table1_accuracy,
+        "table2": figures.table2_quantpack,
+        "table3": figures.table3_coop_softmax,
+    }
+    if name not in lookup:
+        print(f"unknown experiment {name!r}; choose from {sorted(lookup)}")
+        sys.exit(2)
+    lookup[name]().show()
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("devices")
+    sub.add_parser("demo")
+    sweep = sub.add_parser("sweep")
+    sweep.add_argument("--arch", default="a100")
+    experiment = sub.add_parser("experiment")
+    experiment.add_argument("name")
+    args = parser.parse_args(argv)
+
+    if args.command == "devices":
+        _cmd_devices()
+    elif args.command == "demo":
+        _cmd_demo()
+    elif args.command == "sweep":
+        _cmd_sweep(args.arch)
+    elif args.command == "experiment":
+        _cmd_experiment(args.name)
+
+
+if __name__ == "__main__":
+    main()

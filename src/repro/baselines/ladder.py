@@ -1,0 +1,82 @@
+"""Ladder transform cost model (Table II).
+
+Ladder (Wang et al., OSDI'24) compiles hardware-aware layout
+transformations for low-precision operands.  Unlike Marlin it stays on the
+GPU, but its transforms are *search-scheduled for static shapes*: a
+dynamic KV cache forces a separate transformation kernel chain before the
+GEMM — a scatter-heavy permutation pass plus a packing pass — and growth
+invalidates the layout, so decode re-transforms the packed region.
+
+The model charges those passes through the normal GPU time model:
+scattered global traffic for the permutation, a packing pass, and the
+per-kernel launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import AttentionGeometry
+from repro.gpu.arch import ArchSpec
+from repro.gpu.kernel import KernelLaunch, simulate_kernel
+from repro.gpu.trace import AccessPattern, OpTrace
+
+
+@dataclass
+class LadderTransform:
+    """Cost of Ladder's layout-transform + pack kernel chain on a KV cache."""
+
+    arch: ArchSpec
+    bits: int = 4
+
+    @property
+    def name(self) -> str:
+        return "Ladder"
+
+    def _transform_launch(self, fp16_bytes: float, packed_bytes: float) -> KernelLaunch:
+        trace = OpTrace()
+        # Pass 1: gather FP16 data into the transform layout (scattered on
+        # both sides — the layout permutation defeats coalescing).
+        trace.gmem_read(fp16_bytes, AccessPattern.STRIDED)
+        trace.gmem_write(fp16_bytes, AccessPattern.SCATTERED)
+        # Pass 2: second permutation level (Ladder transforms are composed
+        # of an inter-tile and an intra-tile stage for MMA fragments).
+        trace.gmem_read(fp16_bytes, AccessPattern.SCATTERED)
+        trace.gmem_write(fp16_bytes, AccessPattern.STRIDED)
+        # Pass 3: quantize + pack.
+        trace.gmem_read(fp16_bytes)
+        trace.gmem_write(packed_bytes)
+        trace.alu_ops += (fp16_bytes / 2.0) * 3.0  # index math + pack shifts
+        return KernelLaunch(
+            name=self.name,
+            trace=trace,
+            grid_blocks=max(1, int(fp16_bytes // (128 * 1024))),
+            warps_per_block=4,
+            smem_per_block_bytes=16 * 1024,
+            hide_factor=0.5,  # dependent passes
+            instruction_path="sm80",
+            launches=3,  # permute + permute + pack
+        )
+
+    def prefill_latency_ms(self, geom: AttentionGeometry) -> float:
+        """Transform + pack an entire prefilled cache."""
+        fp16_bytes = float(geom.kv_bytes_fp16)
+        packed_bytes = geom.kv_elements * self.bits / 8.0
+        launch = self._transform_launch(fp16_bytes, packed_bytes)
+        return simulate_kernel(self.arch, launch).time_ms
+
+    def decode_latency_ms(self, geom: AttentionGeometry) -> float:
+        """Per-token cost: re-transform the packed region the append touched.
+
+        Ladder's layouts assume static shapes; appending a token forces the
+        affected packed stripe (one tile row across the hidden dimension,
+        per head) to be rebuilt, plus the kernel-chain launches.
+        """
+        stripe_tokens = 128.0
+        stripe_fp16 = 2.0 * geom.batch * geom.hkv * stripe_tokens * geom.head_dim * 2.0
+        packed = stripe_fp16 * self.bits / 16.0
+        launch = self._transform_launch(stripe_fp16, packed)
+        result = simulate_kernel(self.arch, launch)
+        # Dynamic-shape dispatch: Ladder re-selects a schedule per shape.
+        dispatch_overhead_ms = 0.45
+        return result.time_ms + dispatch_overhead_ms

@@ -1,0 +1,23 @@
+"""Benchmark harness: per-figure experiment definitions + reporting.
+
+``repro.bench.figures`` holds one function per evaluation artifact
+(Figs. 4/8-16, Tables I-III); ``repro.bench.harness`` holds the result
+containers, table rendering and shape assertions the ``benchmarks/``
+pytest files build on.
+"""
+
+from repro.bench.harness import (
+    Experiment,
+    Series,
+    assert_monotonic_increase,
+    assert_ordering,
+    assert_within,
+)
+
+__all__ = [
+    "Experiment",
+    "Series",
+    "assert_monotonic_increase",
+    "assert_ordering",
+    "assert_within",
+]

@@ -1,0 +1,393 @@
+"""Top-level BitDecoding API: the quantized KV cache and the decode engine.
+
+This is the public face of the library:
+
+>>> from repro import BitDecoding, BitDecodingConfig, get_arch
+>>> engine = BitDecoding(BitDecodingConfig(bits=4), get_arch("a100"))
+>>> cache = engine.prefill(k, v)            # [batch, hkv, seq, d] FP16
+>>> out = engine.decode(q, cache)           # q: [batch, 1, hq, d]
+
+``BitKVCache`` owns the two-part cache (packed low-bit blocks + FP16
+residual, Sec. IV-A(2)); ``BitDecoding`` runs the Residual and Packing
+kernels over it, merges their partial softmax states, and can report the
+simulated GPU timing of every launch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.arch_support import validate_config
+from repro.core.config import AttentionGeometry, BitDecodingConfig
+from repro.core.packing_kernel import build_packing_launch, run_numeric
+from repro.core.query_transform import group_queries, ungroup_output
+from repro.core.residual_cache import ResidualBuffer, partition_prefill
+from repro.core.residual_kernel import (
+    Fp4Block,
+    PackedBlock,
+    attend_residual,
+    build_residual_launch,
+    flush_block,
+)
+from repro.core.softmax import OnlineSoftmaxState
+from repro.gpu.arch import ArchSpec, get_arch
+from repro.gpu.kernel import KernelLaunch, KernelResult, simulate_kernel
+
+
+class BitKVCache:
+    """Two-part low-bit KV cache for a batch of sequences.
+
+    Storage per (sequence, kv-head): a list of quantized+packed blocks
+    (each ``N_r`` tokens, fragment-order packed words + ``half2`` metadata)
+    and one FP16 residual buffer of capacity ``N_r``.  All sequences in the
+    batch share a length (the paper's padded "Batches" setting).
+    """
+
+    def __init__(self, batch: int, hkv: int, head_dim: int, config: BitDecodingConfig):
+        if min(batch, hkv, head_dim) <= 0:
+            raise ValueError("batch, hkv and head_dim must be positive")
+        self.batch = batch
+        self.hkv = hkv
+        self.head_dim = head_dim
+        self.config = config
+        nr = config.residual_block_size
+        self.blocks: List[List[List[Union[PackedBlock, Fp4Block]]]] = [
+            [[] for _ in range(hkv)] for _ in range(batch)
+        ]
+        self.residuals: List[List[ResidualBuffer]] = [
+            [ResidualBuffer(nr, head_dim) for _ in range(hkv)] for _ in range(batch)
+        ]
+        self.seq_len = 0
+
+    # ------------------------------------------------------------------ fill
+
+    @classmethod
+    def from_prefill(
+        cls, k: np.ndarray, v: np.ndarray, config: BitDecodingConfig
+    ) -> "BitKVCache":
+        """Build a cache from prefill K/V of shape ``[batch, hkv, seq, d]``.
+
+        The first ``L - (L mod N_r)`` tokens are quantized+packed block by
+        block; the remainder seeds the FP16 residual (Sec. V-B(1)).
+        """
+        k = np.asarray(k)
+        v = np.asarray(v)
+        if k.ndim != 4 or k.shape != v.shape:
+            raise ValueError("k and v must both be [batch, hkv, seq, d]")
+        batch, hkv, seq_len, d = k.shape
+        cache = cls(batch, hkv, d, config)
+        nr = config.residual_block_size
+        packed_len, res_len = partition_prefill(seq_len, nr)
+        for b in range(batch):
+            for h in range(hkv):
+                for t0 in range(0, packed_len, nr):
+                    cache.blocks[b][h].append(
+                        flush_block(k[b, h, t0 : t0 + nr], v[b, h, t0 : t0 + nr], config)
+                    )
+                if res_len:
+                    cache.residuals[b][h].fill(
+                        k[b, h, packed_len:], v[b, h, packed_len:]
+                    )
+        cache.seq_len = seq_len
+        return cache
+
+    def append_token(self, k_new: np.ndarray, v_new: np.ndarray) -> bool:
+        """Append one decoded token's K/V (``[batch, hkv, d]``).
+
+        Returns True when the append flushed the residual into a packed
+        block (the once-per-``N_r``-steps quantization event).
+        """
+        k_new = np.asarray(k_new)
+        v_new = np.asarray(v_new)
+        expected = (self.batch, self.hkv, self.head_dim)
+        if k_new.shape != expected or v_new.shape != expected:
+            raise ValueError(f"new K/V must have shape {expected}")
+        flushed = False
+        for b in range(self.batch):
+            for h in range(self.hkv):
+                block = self.residuals[b][h].append(k_new[b, h], v_new[b, h])
+                if block is not None:
+                    self.blocks[b][h].append(
+                        flush_block(block[0], block[1], self.config)
+                    )
+                    flushed = True
+        self.seq_len += 1
+        return flushed
+
+    # ------------------------------------------------------------------ views
+
+    def packed_len(self) -> int:
+        """Tokens currently in the packed (low-bit) part, per head."""
+        if not self.blocks[0][0]:
+            return 0
+        return sum(blk.length for blk in self.blocks[0][0])
+
+    def res_len(self) -> int:
+        """Tokens currently in the FP16 residual, per head."""
+        return self.residuals[0][0].length
+
+    def dequantized_packed(self, b: int, h: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Reconstructed FP32 ``(packed_len, d)`` K/V for one head.
+
+        Every call exercises the real unpack + dequantization path of the
+        stored fragment-order words.
+        """
+        blocks = self.blocks[b][h]
+        if not blocks:
+            d = self.head_dim
+            return np.zeros((0, d), np.float32), np.zeros((0, d), np.float32)
+        ks, vs = zip(*(blk.dequant_kv(self.config) for blk in blocks))
+        return np.concatenate(ks, axis=0), np.concatenate(vs, axis=0)
+
+    def residual_view(self, b: int, h: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self.residuals[b][h].view()
+
+    # ------------------------------------------------------------------ sizes
+
+    @property
+    def packed_nbytes(self) -> float:
+        return sum(
+            blk.packed_nbytes for row in self.blocks for head in row for blk in head
+        )
+
+    @property
+    def meta_nbytes(self) -> float:
+        return sum(
+            blk.meta_nbytes for row in self.blocks for head in row for blk in head
+        )
+
+    @property
+    def residual_nbytes(self) -> float:
+        return sum(r.nbytes for row in self.residuals for r in row)
+
+    @property
+    def total_nbytes(self) -> float:
+        return self.packed_nbytes + self.meta_nbytes + self.residual_nbytes
+
+    def fp16_equivalent_nbytes(self) -> float:
+        """Bytes an FP16 cache of the same contents would occupy."""
+        return 2.0 * self.batch * self.hkv * self.seq_len * self.head_dim * 2.0
+
+    def compression_ratio(self) -> float:
+        if self.total_nbytes == 0:
+            return 1.0
+        return self.fp16_equivalent_nbytes() / self.total_nbytes
+
+
+class BitDecoding:
+    """The BitDecoding engine: decode attention over a :class:`BitKVCache`."""
+
+    def __init__(
+        self, config: BitDecodingConfig, arch: Union[ArchSpec, str] = "a100"
+    ):
+        self.arch = get_arch(arch) if isinstance(arch, str) else arch
+        validate_config(self.arch, config)
+        self.config = config
+
+    def _check_cache_compatible(self, cache: BitKVCache) -> None:
+        """Refuse caches built under a different kernel configuration.
+
+        The Packing Kernel must mirror the Residual Kernel's instruction
+        configuration (Sec. IV-A(4)); bit width, word width, dequant path
+        and version all feed that configuration.
+        """
+        ours, theirs = self.config, cache.config
+        mismatched = (
+            ours.bits != theirs.bits
+            or ours.word_bits != theirs.word_bits
+            or ours.version != theirs.version
+            or ours.dequant_method != theirs.dequant_method
+        )
+        if mismatched:
+            raise ValueError(
+                f"engine configured as {ours.short_name} cannot decode a "
+                f"cache packed as {theirs.short_name}: the kernels' "
+                "instruction configurations must match (Sec. IV-A(4))"
+            )
+
+    # ------------------------------------------------------------- numerics
+
+    def prefill(self, k: np.ndarray, v: np.ndarray) -> BitKVCache:
+        """Quantize + pack a prefill context (``[batch, hkv, seq, d]``)."""
+        return BitKVCache.from_prefill(k, v, self.config)
+
+    def decode(
+        self,
+        q: np.ndarray,
+        cache: BitKVCache,
+        n_splits: Optional[int] = None,
+    ) -> np.ndarray:
+        """One decode step: attention of ``q`` over the full cache.
+
+        ``q``: ``[batch, q_len, hq, d]``.  Returns ``[batch, q_len, hq, d]``.
+        Runs the Packing Kernel over the packed part and the Residual
+        Kernel over the FP16 tail; their partial online-softmax states are
+        merged exactly as the split-KV reduction kernel does.
+        """
+        q = np.asarray(q, dtype=np.float32)
+        if q.ndim != 4:
+            raise ValueError("q must be [batch, q_len, hq, d]")
+        self._check_cache_compatible(cache)
+        batch, q_len, hq, d = q.shape
+        if batch != cache.batch or d != cache.head_dim:
+            raise ValueError("query does not match the cache's batch/head_dim")
+        if hq % cache.hkv != 0:
+            raise ValueError("hq must be a multiple of the cache's hkv")
+        scale = 1.0 / math.sqrt(d)
+
+        grouped = group_queries(q, cache.hkv)  # [b, hkv, M, d]
+        m = grouped.shape[2]
+        out = np.empty_like(grouped)
+        for b in range(batch):
+            for h in range(cache.hkv):
+                q_bh = grouped[b, h]
+                k_hat, v_hat = cache.dequantized_packed(b, h)
+                states: List[OnlineSoftmaxState] = []
+                if k_hat.shape[0]:
+                    if n_splits and n_splits > 1:
+                        from repro.core.packing_kernel import split_states
+
+                        states.extend(
+                            split_states(q_bh, k_hat, v_hat, self.config, n_splits, scale)
+                        )
+                    else:
+                        states.append(
+                            run_numeric(q_bh, k_hat, v_hat, self.config, scale)
+                        )
+                k_res, v_res = cache.residual_view(b, h)
+                if k_res.shape[0]:
+                    states.append(
+                        attend_residual(q_bh, k_res, v_res, self.config, scale)
+                    )
+                if not states:
+                    raise ValueError("decode on an empty cache")
+                merged = states[0]
+                for st in states[1:]:
+                    merged.merge(st)
+                out[b, h] = merged.finalize()
+        return ungroup_output(out, hq, q_len)
+
+    def decode_speculative(
+        self,
+        q: np.ndarray,
+        k_draft: np.ndarray,
+        v_draft: np.ndarray,
+        cache: BitKVCache,
+        commit: bool = False,
+    ) -> np.ndarray:
+        """Multi-token (speculative-verification) decode.
+
+        ``q``: ``[batch, n, hq, d]`` — queries for ``n`` draft tokens at
+        positions ``L .. L+n-1``; ``k_draft``/``v_draft``:
+        ``[batch, hkv, n, d]`` — the draft tokens' K/V.  Query ``i``
+        attends over the whole cache plus draft tokens ``0..i`` (causal
+        within the tail), which is exactly the verification pass of
+        speculative decoding.  The grouped-query transform makes the tail
+        a single ``(n*gq) x n`` masked tile per KV head, so Tensor-Core
+        tiles stay full — the paper's "query length is typically small
+        (<16)" observation is what makes this fit one MMA tile.
+
+        With ``commit=True`` the draft tokens are appended to the cache
+        afterwards (accepted-token bookkeeping is the caller's policy).
+        """
+        q = np.asarray(q, dtype=np.float32)
+        k_draft = np.asarray(k_draft, dtype=np.float32)
+        v_draft = np.asarray(v_draft, dtype=np.float32)
+        if q.ndim != 4:
+            raise ValueError("q must be [batch, n, hq, d]")
+        self._check_cache_compatible(cache)
+        batch, n, hq, d = q.shape
+        if k_draft.shape != (batch, cache.hkv, n, d):
+            raise ValueError(
+                f"k_draft must be [batch, hkv, n, d] = "
+                f"{(batch, cache.hkv, n, d)}, got {k_draft.shape}"
+            )
+        scale = 1.0 / math.sqrt(d)
+        gq = hq // cache.hkv
+
+        grouped = group_queries(q, cache.hkv)  # [b, hkv, n*gq, d]
+        out = np.empty_like(grouped)
+        for b in range(batch):
+            for h in range(cache.hkv):
+                q_bh = grouped[b, h]  # rows ordered (token, group-slot)
+                states: List[OnlineSoftmaxState] = []
+                k_hat, v_hat = cache.dequantized_packed(b, h)
+                if k_hat.shape[0]:
+                    states.append(run_numeric(q_bh, k_hat, v_hat, self.config, scale))
+                k_res, v_res = cache.residual_view(b, h)
+                if k_res.shape[0]:
+                    states.append(
+                        attend_residual(q_bh, k_res, v_res, self.config, scale)
+                    )
+                # Causal tail: query row r belongs to draft token r // gq
+                # and may see draft columns 0 .. r // gq.
+                s_tail = (q_bh @ k_draft[b, h].T) * scale
+                rows = np.arange(n * gq) // gq
+                mask = np.arange(n)[None, :] > rows[:, None]
+                s_tail = np.where(mask, -np.inf, s_tail)
+                tail_state = OnlineSoftmaxState.fresh(n * gq, d)
+                tail_state.update(s_tail, v_draft[b, h])
+                states.append(tail_state)
+
+                merged = states[0]
+                for st in states[1:]:
+                    merged.merge(st)
+                out[b, h] = merged.finalize()
+        result = ungroup_output(out, hq, q_len=n)
+        if commit:
+            for i in range(n):
+                cache.append_token(
+                    k_draft[:, :, i].astype(np.float16),
+                    v_draft[:, :, i].astype(np.float16),
+                )
+        return result
+
+    # ---------------------------------------------------------- performance
+
+    def decode_launches(
+        self,
+        geom: AttentionGeometry,
+        res_len: Optional[int] = None,
+        flush: bool = False,
+        paged: bool = False,
+        page_size: int = 64,
+    ) -> List[KernelLaunch]:
+        """Kernel launches of one decode step at a given geometry.
+
+        ``res_len`` defaults to half the residual block (the average decode
+        state); pass ``res_len=None, flush=True`` to model a flush step.
+        """
+        nr = self.config.residual_block_size
+        if res_len is None:
+            res_len = max(1, nr // 2)
+        packed_len = max(0, geom.seq_len - res_len)
+        launches = []
+        if packed_len > 0:
+            launches.append(
+                build_packing_launch(
+                    geom,
+                    self.config,
+                    self.arch,
+                    packed_len=packed_len,
+                    paged=paged,
+                    page_size=page_size,
+                )
+            )
+        launches.append(
+            build_residual_launch(geom, self.config, self.arch, res_len, flush=flush)
+        )
+        return launches
+
+    def decode_results(self, geom: AttentionGeometry, **kwargs) -> List[KernelResult]:
+        """Simulate one decode step's launches on this engine's device."""
+        return [
+            simulate_kernel(self.arch, launch)
+            for launch in self.decode_launches(geom, **kwargs)
+        ]
+
+    def decode_time_ms(self, geom: AttentionGeometry, **kwargs) -> float:
+        """Simulated latency (ms) of one decode attention step."""
+        return sum(r.time_ms for r in self.decode_results(geom, **kwargs))

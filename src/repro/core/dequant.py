@@ -1,0 +1,107 @@
+"""Dequantization paths: the lop3 fast path vs naive ``static_cast``.
+
+Sec. IV-A(3): casting low-bit integers to FP16 with ``static_cast`` is slow
+(the conversion pipe has a fraction of the ALU's throughput); the fast path
+packs values in the ``75316420`` interleaved order so bitwise ``lop3``
+operations splice each 4-bit code directly into the mantissa field of an
+FP16 magic constant, after which a single fused multiply-add applies
+``scale``/``zero`` *and* removes the magic bias.
+
+Numerically both paths reconstruct exactly ``code * scale + zero``; they
+differ in the instruction mix, which :func:`dequant_trace` captures for the
+performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.packing import fast_parity_extract, unpack_values
+from repro.gpu.instructions import dequant_ops
+from repro.gpu.trace import OpTrace
+
+#: FP16 with exponent bits set so the low mantissa bits hold an integer in
+#: [0, 1023]: 0x6400 is 1024.0; OR-ing a 4-bit code into the mantissa gives
+#: 1024 + code.  Subtracting the bias recovers the code — the classic
+#: "magic number" integer->float trick the lop3 path implements.
+_FP16_MAGIC_BIAS = 1024.0
+_FP16_MAGIC_BITS = np.uint16(0x6400)
+
+
+def lop3_dequant_words(
+    words: np.ndarray,
+    bits: int,
+    scale: np.ndarray,
+    zero: np.ndarray,
+    word_bits: int = 16,
+) -> np.ndarray:
+    """Fast dequantization of interleaved-packed words (lop3 emulation).
+
+    ``scale``/``zero`` broadcast against the unpacked value array.  The
+    function reproduces the instruction-level trick: codes are spliced into
+    FP16 magic constants via bitwise ops (one mask per value pair thanks to
+    the ``75316420`` order), then one FMA applies ``scale`` and
+    ``zero - scale * bias`` at once.
+    """
+    first, second = fast_parity_extract(words, bits, word_bits)
+    # Logical order per word is [first half, second half]; flatten the word
+    # axis so the output matches the cast path element-for-element.
+    codes = np.concatenate([first, second], axis=-1)
+    codes = codes.reshape(*words.shape[:-1], -1)
+    # Splice the code into the magic constant's mantissa (bitwise, no cvt).
+    magic = (_FP16_MAGIC_BITS | codes.astype(np.uint16)).view(np.float16)
+    biased = magic.astype(np.float32)  # register copy, not a cvt of the code
+    scale = np.asarray(scale, dtype=np.float32)
+    zero = np.asarray(zero, dtype=np.float32)
+    # One HFMA2: x = biased * scale + (zero - scale * bias)
+    return biased * scale + (zero - scale * _FP16_MAGIC_BIAS)
+
+
+def cast_dequant_words(
+    words: np.ndarray,
+    bits: int,
+    scale: np.ndarray,
+    zero: np.ndarray,
+    word_bits: int = 16,
+    interleaved: bool = True,
+) -> np.ndarray:
+    """Naive path: unpack, ``static_cast`` each code, then scale.
+
+    Both paths emit values in logical order, so they agree element-for-
+    element; only the instruction mix differs.
+    """
+    codes = unpack_values(words, bits, word_bits, interleaved=interleaved)
+    cast = codes.astype(np.float32)  # the cvt instruction per value
+    scale = np.asarray(scale, dtype=np.float32)
+    zero = np.asarray(zero, dtype=np.float32)
+    return cast * scale + zero
+
+
+def dequant_trace(n_values: float, bits: int, method: str = "lop3") -> OpTrace:
+    """Instruction trace of dequantizing ``n_values`` (delegates to the
+    cost tables in :mod:`repro.gpu.instructions`)."""
+    return dequant_ops(n_values, bits, method)
+
+
+def dequant_speed_ratio(arch, n_values: float, bits: int) -> float:
+    """How much faster the lop3 path is than static_cast on ``arch``.
+
+    Compares the standalone pipe times of the two instruction mixes; used
+    by tests to pin the paper's claim that naive casts are slow.
+    """
+    from repro.gpu.kernel import KernelLaunch, simulate_kernel
+
+    results = []
+    for method in ("cvt", "lop3"):
+        launch = KernelLaunch(
+            name=f"dequant-{method}",
+            trace=dequant_ops(n_values, bits, method),
+            grid_blocks=max(1, int(n_values // 8192)),
+            warps_per_block=4,
+            hide_factor=1.0,
+        )
+        results.append(simulate_kernel(arch, launch).exec_time_s)
+    cvt_time, lop3_time = results
+    if lop3_time <= 0:
+        raise ValueError("degenerate dequant trace")
+    return cvt_time / lop3_time

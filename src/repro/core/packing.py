@@ -1,0 +1,160 @@
+"""Low-level bit packing and unpacking.
+
+BitDecoding stores a quantized KV cache as ``beta``-bit unsigned integers
+packed into ``omega``-bit storage words (Sec. IV-A(2)); the *packing ratio*
+is ``R = omega / beta``.  This module implements the packing arithmetic on
+numpy arrays, including the ``75316420`` interleaved nibble order that makes
+the ``lop3``-based fast dequantization possible (Sec. IV-A(3)).
+
+Conventions
+-----------
+- Quantized values are unsigned codes in ``[0, 2**bits)``.
+- ``pack_values`` packs along the last axis; the number of values must be a
+  multiple of the packing ratio (callers pad tiles to Tensor-Core-aligned
+  sizes, which guarantees this — that is exactly what Eq. 1's residual block
+  sizing is for).
+- Value ``j`` of a word lands in bit-field ``j`` ("linear" order) or in
+  field ``INTERLEAVE_75316420[j]`` ("interleaved" order).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Bit widths the cache supports.
+SUPPORTED_BITS = (1, 2, 4, 8)
+#: Storage word widths.
+SUPPORTED_WORD_BITS = (8, 16, 32)
+
+#: The paper's interleaved in-word order: logical value ``j`` is stored in
+#: physical bit-field ``INTERLEAVE_75316420[j]``.  With this order, one
+#: ``lop3`` mask extracts the even logical values and one the odd values as
+#: two adjacent half-words, which is what the fast INT->FP16 trick needs.
+INTERLEAVE_75316420: Tuple[int, ...] = (0, 2, 4, 6, 1, 3, 5, 7)
+
+
+def _word_dtype(word_bits: int) -> np.dtype:
+    if word_bits == 8:
+        return np.dtype(np.uint8)
+    if word_bits == 16:
+        return np.dtype(np.uint16)
+    if word_bits == 32:
+        return np.dtype(np.uint32)
+    raise ValueError(f"unsupported word width {word_bits}; use one of {SUPPORTED_WORD_BITS}")
+
+
+def packing_ratio(bits: int, word_bits: int = 16) -> int:
+    """Values per storage word, ``R = omega / beta`` (Sec. IV-A(2))."""
+    if bits not in SUPPORTED_BITS:
+        raise ValueError(f"unsupported bit width {bits}; use one of {SUPPORTED_BITS}")
+    if word_bits not in SUPPORTED_WORD_BITS:
+        raise ValueError(
+            f"unsupported word width {word_bits}; use one of {SUPPORTED_WORD_BITS}"
+        )
+    if word_bits < bits:
+        raise ValueError("word width must be at least the value width")
+    return word_bits // bits
+
+
+def _field_order(ratio: int, interleaved: bool) -> np.ndarray:
+    """Physical field index for each logical value position within a word.
+
+    The interleaved order places the first half of the logical values in the
+    even physical fields and the second half in the odd fields; for a ratio
+    of 8 this is exactly :data:`INTERLEAVE_75316420`.  For other ratios
+    (e.g. INT2 in 32-bit words) the same even/odd construction generalizes
+    while preserving the one-mask-per-half extraction property.
+    """
+    if not interleaved:
+        return np.arange(ratio)
+    if ratio < 2 or ratio % 2 != 0:
+        return np.arange(ratio)
+    half = ratio // 2
+    order = np.empty(ratio, dtype=np.int64)
+    order[:half] = np.arange(0, ratio, 2)
+    order[half:] = np.arange(1, ratio, 2)
+    return order
+
+
+def pack_values(
+    values: np.ndarray,
+    bits: int,
+    word_bits: int = 16,
+    interleaved: bool = False,
+) -> np.ndarray:
+    """Pack unsigned ``bits``-wide codes into storage words.
+
+    ``values`` may have any shape; packing collapses the last axis by the
+    packing ratio.  Raises when the last axis is not a multiple of the ratio
+    or when any code is out of range.
+    """
+    ratio = packing_ratio(bits, word_bits)
+    values = np.asarray(values)
+    if values.shape[-1] % ratio != 0:
+        raise ValueError(
+            f"last axis ({values.shape[-1]}) must be a multiple of the "
+            f"packing ratio ({ratio})"
+        )
+    if values.size and (values.min() < 0 or values.max() >= (1 << bits)):
+        raise ValueError(f"values out of range for {bits}-bit codes")
+
+    dtype = _word_dtype(word_bits)
+    grouped = values.astype(np.uint32).reshape(*values.shape[:-1], -1, ratio)
+    fields = _field_order(ratio, interleaved)
+    shifts = (fields * bits).astype(np.uint32)
+    words = np.zeros(grouped.shape[:-1], dtype=np.uint32)
+    for j in range(ratio):
+        words |= grouped[..., j] << shifts[j]
+    return words.astype(dtype)
+
+
+def unpack_values(
+    words: np.ndarray,
+    bits: int,
+    word_bits: int = 16,
+    interleaved: bool = False,
+) -> np.ndarray:
+    """Inverse of :func:`pack_values`; expands the last axis by the ratio."""
+    ratio = packing_ratio(bits, word_bits)
+    words = np.asarray(words).astype(np.uint32)
+    fields = _field_order(ratio, interleaved)
+    mask = np.uint32((1 << bits) - 1)
+    out = np.empty(words.shape + (ratio,), dtype=np.uint8)
+    for j in range(ratio):
+        out[..., j] = (words >> np.uint32(fields[j] * bits)) & mask
+    return out.reshape(*words.shape[:-1], -1)
+
+
+def fast_parity_extract(
+    words: np.ndarray, bits: int, word_bits: int = 16
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Emulate the lop3 fast path on interleaved-packed words.
+
+    Returns ``(first_half, second_half)``: logical values ``0..R/2-1`` and
+    ``R/2..R-1``, each half obtained with a *single mask per field pair* —
+    the software analogue of the ``lop3``-based extraction enabled by the
+    ``75316420`` layout, where the first half of the values sits in the even
+    physical fields and the second half in the odd fields.  Only meaningful
+    for words packed with ``interleaved=True``.
+    """
+    ratio = packing_ratio(bits, word_bits)
+    words = np.asarray(words).astype(np.uint32)
+    half = ratio // 2
+    mask = np.uint32((1 << bits) - 1)
+    span = np.uint32(2 * bits)
+    first = np.empty(words.shape + (half,), dtype=np.uint8)
+    second = np.empty(words.shape + (half,), dtype=np.uint8)
+    for j in range(half):
+        first[..., j] = (words >> (span * np.uint32(j))) & mask
+        second[..., j] = (words >> (span * np.uint32(j) + np.uint32(bits))) & mask
+    return first, second
+
+
+def packed_nbytes(n_values: int, bits: int, word_bits: int = 16) -> int:
+    """Storage bytes for ``n_values`` codes (must divide the ratio evenly)."""
+    ratio = packing_ratio(bits, word_bits)
+    if n_values % ratio != 0:
+        raise ValueError("n_values must be a multiple of the packing ratio")
+    return (n_values // ratio) * (word_bits // 8)

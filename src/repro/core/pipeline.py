@@ -1,0 +1,116 @@
+"""Software-pipeline model (Fig. 7 right).
+
+The Packing Kernel's inner loop is a producer/consumer pipeline over KV
+tiles:
+
+====================  =============================  ==================
+stage                 hardware                       overlaps with
+====================  =============================  ==================
+``load``              ``cp.async`` / TMA (gmem)      everything
+``ldmatrix+dequant``  LSU + CUDA cores               MMA of prior tile
+``mma``               Tensor Cores                   load of next tile
+``softmax``           CUDA cores (SFU/FMA)           MMA / loads
+====================  =============================  ==================
+
+This module provides an explicit steady-state pipeline calculator used for
+analysis and tests: with the pipeline enabled the per-tile time approaches
+the slowest stage; disabled, stages serialize.  The kernel-level time model
+(:mod:`repro.gpu.kernel`) captures the same effect through its hide factor;
+keeping the explicit stage model separate lets tests validate the overlap
+algebra directly and benchmarks explain *why* a configuration stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One stage of the tile pipeline."""
+
+    name: str
+    time_per_tile: float
+    #: Resource class; stages on the same resource cannot overlap each
+    #: other even across loop iterations.
+    resource: str
+
+
+@dataclass(frozen=True)
+class PipelineTiming:
+    """Steady-state timing of a tile pipeline."""
+
+    per_tile_time: float
+    fill_time: float
+    n_tiles: int
+    bottleneck: str
+
+    @property
+    def total_time(self) -> float:
+        if self.n_tiles <= 0:
+            return 0.0
+        return self.fill_time + self.per_tile_time * self.n_tiles
+
+
+def schedule(
+    stages: Sequence[PipelineStage],
+    n_tiles: int,
+    pipelined: bool = True,
+    parallel_streams: int = 1,
+) -> PipelineTiming:
+    """Steady-state pipeline timing over ``n_tiles`` iterations.
+
+    ``pipelined=False`` serializes all stages per tile (no double
+    buffering, no async copies).  ``parallel_streams`` models independent
+    warps along N: a resource's effective serialization shrinks when
+    several streams interleave on it (the SM scheduler hides one stream's
+    stage under another's) — up to the point where a resource saturates.
+    """
+    if n_tiles < 0:
+        raise ValueError("n_tiles must be non-negative")
+    if parallel_streams < 1:
+        raise ValueError("parallel_streams must be >= 1")
+    if not stages:
+        raise ValueError("pipeline needs at least one stage")
+
+    if not pipelined:
+        per_tile = sum(s.time_per_tile for s in stages) / parallel_streams
+        # Without overlap the serialized chain *is* the critical path, but a
+        # resource can never go faster than its own busy time.
+        busiest = _busiest_resource(stages)
+        per_tile = max(per_tile, busiest[1])
+        return PipelineTiming(
+            per_tile_time=per_tile, fill_time=0.0, n_tiles=n_tiles, bottleneck=busiest[0]
+        )
+
+    # Pipelined: steady-state per-tile time is the busiest *resource*
+    # (stages sharing a resource add up); the fill is one pass through the
+    # remaining stages.
+    name, busy = _busiest_resource(stages)
+    fill = sum(s.time_per_tile for s in stages) - busy
+    return PipelineTiming(
+        per_tile_time=busy, fill_time=max(0.0, fill), n_tiles=n_tiles, bottleneck=name
+    )
+
+
+def _busiest_resource(stages: Sequence[PipelineStage]) -> tuple:
+    by_resource: Dict[str, float] = {}
+    for s in stages:
+        if s.time_per_tile < 0:
+            raise ValueError(f"stage {s.name} has negative time")
+        by_resource[s.resource] = by_resource.get(s.resource, 0.0) + s.time_per_tile
+    name = max(by_resource, key=by_resource.get)
+    return name, by_resource[name]
+
+
+def packing_kernel_stages(
+    load_time: float, dequant_time: float, mma_time: float, softmax_time: float
+) -> List[PipelineStage]:
+    """The Packing Kernel's canonical four-stage tile pipeline."""
+    return [
+        PipelineStage("load", load_time, "memory"),
+        PipelineStage("dequant", dequant_time, "cuda_cores"),
+        PipelineStage("mma", mma_time, "tensor_cores"),
+        PipelineStage("softmax", softmax_time, "cuda_cores"),
+    ]

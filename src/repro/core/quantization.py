@@ -1,0 +1,257 @@
+"""KV-cache quantization: integer (INT8/4/2/1) and micro-scaling FP4.
+
+BitDecoding must stay *general across quantization algorithms*
+(Challenge 3): popular methods disagree on the Key tensor's scaling
+granularity —
+
+- **channel-wise (KC)**: one (scale, zero) per hidden channel, with the
+  group running along the sequence dimension (KIVI, KVQuant style).  Best
+  accuracy for Keys, whose outliers are per-channel.
+- **tensor-wise (KT)**: one (scale, zero) per token, with the group running
+  along the hidden dimension (KVQuant/Atom per-token style).
+
+Values are always quantized tensor-wise (per token).  Following the paper's
+Residual Kernel, scale and zero-point are stored together as a ``half2``
+(both cast to FP16) so one load plus one ``HFMA2`` performs dequantization.
+
+Blackwell's native formats are also provided: **MXFP4** (E2M1 element, one
+shared power-of-two E8M0 scale per 32-element block) and **NVFP4** (E2M1
+element, FP8-E4M3 scale per 16-element block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Key-scaling granularities (Sec. V-B): channel-wise groups run along
+#: seq_len; tensor-wise groups run along the hidden dimension.
+GRANULARITIES = ("channel", "tensor")
+
+#: Representable magnitudes of the FP4 E2M1 element format.
+E2M1_VALUES = np.asarray([0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0], dtype=np.float32)
+E2M1_MAX = 6.0
+
+#: Largest normal magnitude of FP8 E4M3 (NVFP4 block scale format).
+E4M3_MAX = 448.0
+
+
+@dataclass(frozen=True)
+class QuantScheme:
+    """Configuration of one integer quantization scheme."""
+
+    bits: int
+    granularity: str  # "channel" or "tensor"
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if self.bits not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported bit width {self.bits}")
+        if self.granularity not in GRANULARITIES:
+            raise ValueError(
+                f"granularity must be one of {GRANULARITIES}, got {self.granularity!r}"
+            )
+        if self.group_size <= 0:
+            raise ValueError("group_size must be positive")
+
+    @property
+    def levels(self) -> int:
+        return 1 << self.bits
+
+    @property
+    def short_name(self) -> str:
+        """Paper-style tag, e.g. ``KC-4`` / ``KT-2``."""
+        prefix = "KC" if self.granularity == "channel" else "KT"
+        return f"{prefix}-{self.bits}"
+
+
+@dataclass
+class QuantParams:
+    """Scale/zero-point metadata for one quantized tensor.
+
+    ``scale`` and ``zero`` have one entry per group and are stored in FP16,
+    emulating the paper's compact ``half2`` layout.  ``axis`` is the tensor
+    axis the group runs along.
+    """
+
+    scale: np.ndarray
+    zero: np.ndarray
+    axis: int
+    group_size: int
+    bits: int
+
+    @property
+    def nbytes(self) -> float:
+        """Metadata bytes (half2 per group)."""
+        return self.scale.size * 2 + self.zero.size * 2
+
+
+def _group_reduce(x: np.ndarray, axis: int, group_size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-group (min, max) along ``axis`` with group length ``group_size``."""
+    n = x.shape[axis]
+    if n % group_size != 0:
+        raise ValueError(
+            f"axis length {n} is not a multiple of group size {group_size}"
+        )
+    moved = np.moveaxis(x, axis, -1)
+    grouped = moved.reshape(*moved.shape[:-1], n // group_size, group_size)
+    return grouped.min(axis=-1), grouped.max(axis=-1)
+
+
+def quantize(
+    x: np.ndarray, bits: int, axis: int, group_size: int
+) -> Tuple[np.ndarray, QuantParams]:
+    """Asymmetric uniform quantization along ``axis`` in groups.
+
+    Returns unsigned codes (same shape as ``x``) and :class:`QuantParams`.
+    The affine map is ``code = round((x - zero) / scale)`` clamped to
+    ``[0, 2**bits - 1]``; ``scale``/``zero`` are rounded to FP16 *before*
+    quantization, exactly as a kernel storing ``half2`` metadata would.
+    """
+    if bits not in (1, 2, 4, 8):
+        raise ValueError(f"unsupported bit width {bits}")
+    x = np.asarray(x, dtype=np.float32)
+    if x.size and not np.all(np.isfinite(x)):
+        raise ValueError(
+            "quantize received non-finite values; a NaN/Inf in K or V would "
+            "poison a whole quantization group's scale"
+        )
+    axis = axis % x.ndim
+    gmin, gmax = _group_reduce(x, axis, group_size)
+    levels = (1 << bits) - 1
+    scale = (gmax - gmin) / levels
+    # Guard degenerate all-equal groups; scale 0 would divide by zero.
+    scale = np.where(scale <= 0, 1.0, scale)
+    zero = gmin
+    # half2 storage: metadata lives in FP16.
+    scale = scale.astype(np.float16).astype(np.float32)
+    scale = np.where(scale <= 0, np.float32(6e-5), scale)  # fp16 underflow guard
+    zero = zero.astype(np.float16).astype(np.float32)
+
+    expand = np.repeat(scale, group_size, axis=-1)
+    expand_zero = np.repeat(zero, group_size, axis=-1)
+    moved = np.moveaxis(x, axis, -1)
+    codes = np.rint((moved - expand_zero) / expand)
+    codes = np.clip(codes, 0, levels).astype(np.uint8)
+    codes = np.moveaxis(codes, -1, axis)
+    return codes, QuantParams(scale=scale, zero=zero, axis=axis, group_size=group_size, bits=bits)
+
+
+def dequantize(codes: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Inverse affine map: ``x_hat = code * scale + zero`` (one HFMA2)."""
+    codes = np.asarray(codes)
+    axis = params.axis % codes.ndim
+    moved = np.moveaxis(codes, axis, -1).astype(np.float32)
+    expand = np.repeat(params.scale, params.group_size, axis=-1)
+    expand_zero = np.repeat(params.zero, params.group_size, axis=-1)
+    out = moved * expand + expand_zero
+    return np.moveaxis(out, -1, axis)
+
+
+def quantize_key(
+    k: np.ndarray, scheme: QuantScheme, seq_axis: int = 0, channel_axis: int = -1
+) -> Tuple[np.ndarray, QuantParams]:
+    """Quantize a Key block ``(..., seq, ..., d)`` under a scheme.
+
+    Channel-wise (KC): groups run along the sequence axis (one scale per
+    channel per ``group_size`` tokens).  Tensor-wise (KT): groups run along
+    the hidden axis (one scale per token per ``group_size`` channels).
+    """
+    axis = seq_axis if scheme.granularity == "channel" else channel_axis
+    return quantize(k, scheme.bits, axis, scheme.group_size)
+
+
+def quantize_value(
+    v: np.ndarray, bits: int, group_size: int, channel_axis: int = -1
+) -> Tuple[np.ndarray, QuantParams]:
+    """Quantize a Value block tensor-wise (groups along the hidden axis)."""
+    return quantize(v, bits, channel_axis, group_size)
+
+
+def quantization_error_bound(params: QuantParams) -> float:
+    """Worst-case absolute reconstruction error: half a step per group."""
+    return float(np.max(params.scale)) / 2.0 + 1e-3  # fp16 metadata slack
+
+
+# ---------------------------------------------------------------------------
+# Micro-scaling FP4 (Blackwell native formats)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fp4Params:
+    """Block scales of an MXFP4/NVFP4 tensor (one scale per block)."""
+
+    scale: np.ndarray
+    axis: int
+    block_size: int
+    fmt: str  # "mxfp4" or "nvfp4"
+
+    @property
+    def nbytes(self) -> float:
+        return float(self.scale.size)  # E8M0 and E4M3 are 1 byte each
+
+
+def _quantize_e2m1(x: np.ndarray) -> np.ndarray:
+    """Round to the nearest representable E2M1 value (sign preserved)."""
+    sign = np.sign(x)
+    mag = np.abs(x)
+    idx = np.argmin(np.abs(mag[..., None] - E2M1_VALUES), axis=-1)
+    return sign * E2M1_VALUES[idx]
+
+
+def quantize_fp4(
+    x: np.ndarray, fmt: str = "mxfp4", axis: int = -1
+) -> Tuple[np.ndarray, Fp4Params]:
+    """Quantize to a micro-scaling FP4 format.
+
+    MXFP4: block 32, power-of-two (E8M0) scale.  NVFP4: block 16, FP8-E4M3
+    scale.  Returns the *dequantized representable values* (what the tensor
+    cores compute with) plus block scales; benchmarks use the scales' byte
+    counts for traffic, numerics use the values.
+    """
+    if fmt == "mxfp4":
+        block = 32
+    elif fmt == "nvfp4":
+        block = 16
+    else:
+        raise ValueError(f"unknown fp4 format {fmt!r}; use 'mxfp4' or 'nvfp4'")
+    x = np.asarray(x, dtype=np.float32)
+    axis = axis % x.ndim
+    n = x.shape[axis]
+    if n % block != 0:
+        raise ValueError(f"axis length {n} not a multiple of block size {block}")
+
+    moved = np.moveaxis(x, axis, -1)
+    grouped = moved.reshape(*moved.shape[:-1], n // block, block)
+    amax = np.abs(grouped).max(axis=-1)
+    raw_scale = amax / E2M1_MAX
+    raw_scale = np.where(raw_scale <= 0, 1.0, raw_scale)
+    if fmt == "mxfp4":
+        # E8M0: power-of-two scale, rounded up so the block max stays
+        # representable.
+        scale = 2.0 ** np.ceil(np.log2(raw_scale))
+    else:
+        # E4M3: round to FP8; emulate with the nearest value of limited
+        # mantissa (3 bits) and clamp to the format's range.
+        mant, exp = np.frexp(raw_scale)
+        mant = np.round(mant * 16) / 16  # 1 sign-free mantissa step of 2^-4
+        scale = np.clip(np.ldexp(mant, exp), 2.0 ** -9, E4M3_MAX)
+
+    q = _quantize_e2m1(grouped / scale[..., None]) * scale[..., None]
+    out = np.moveaxis(q.reshape(moved.shape), -1, axis)
+    params = Fp4Params(
+        scale=scale.astype(np.float32), axis=axis, block_size=block, fmt=fmt
+    )
+    return out, params
+
+
+def fp4_storage_bits_per_value(fmt: str = "mxfp4") -> float:
+    """Total storage bits per value including the amortized block scale."""
+    if fmt == "mxfp4":
+        return 4.0 + 8.0 / 32.0
+    if fmt == "nvfp4":
+        return 4.0 + 8.0 / 16.0
+    raise ValueError(f"unknown fp4 format {fmt!r}")

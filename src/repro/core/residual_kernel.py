@@ -1,0 +1,368 @@
+"""The Residual Kernel: fused compute + quantization + packing (Sec. V-B).
+
+Per decode step the kernel (i) computes attention over the FP16 residual
+KV cache and (ii) — on the step where the residual fills to ``N_r`` — fuses
+quantization and packing of the completed block into the low-bit cache,
+entirely in registers:
+
+- thread-level min/max for the group statistics, reduced across the warp
+  with ``__shfl_xor_sync`` butterflies (plus a small shared buffer when
+  ``W_n > 1``),
+- in-register affine quantization,
+- thread-local packing in *fragment order* (layout induction, Fig. 5), so
+  the stored words are already what the Packing Kernel's ``ldmatrix``
+  expects.
+
+Numerics here are bit-exact: :func:`flush_block` really quantizes and packs
+through the fragment permutation; the Packing Kernel really unpacks the
+words.  Trace builders mirror the same work for the performance model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import AttentionGeometry, BitDecodingConfig
+from repro.core.layouts import (
+    MMA_M16N8K16_B,
+    FragmentLayout,
+    block_fragment_pack,
+    block_fragment_unpack,
+    tiled_layout,
+)
+from repro.core.quantization import (
+    Fp4Params,
+    QuantParams,
+    QuantScheme,
+    dequantize,
+    quantize_fp4,
+    quantize_key,
+    quantize_value,
+)
+from repro.core.query_transform import gemm_m_dimension
+from repro.core.softmax import OnlineSoftmaxState, tile_softmax_split
+from repro.gpu.arch import ArchSpec
+from repro.gpu.instructions import quant_pack_ops, rescale_accum_ops, softmax_ops
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.trace import OpTrace
+from repro.gpu.warp import WarpLayout, memory_hide_factor
+
+
+def _kv_fragment_layout(config: BitDecodingConfig) -> FragmentLayout:
+    """Fragment layout (with N-repeat) whose lane load fills whole words.
+
+    A lane of ``mma.m16n8k16.B`` holds 4 values; bit widths whose packing
+    ratio exceeds 4 need repeat tiling along N (Fig. 3a) so each lane packs
+    complete words.
+    """
+    base = MMA_M16N8K16_B
+    ratio = config.packing_ratio
+    repeat = max(1, math.ceil(ratio / base.values_per_lane))
+    return tiled_layout(base, repeat) if repeat > 1 else base
+
+
+@dataclass
+class PackedBlock:
+    """One quantized+packed residual block of the low-bit KV cache.
+
+    ``k_words`` is packed in (d, seq) orientation — K is the B operand of
+    ``Q K^T`` whose contraction dimension is ``d`` — while ``v_words`` is
+    packed in (seq, d) orientation for the ``P V`` MMA.
+    """
+
+    length: int
+    head_dim: int
+    bits: int
+    word_bits: int
+    layout_name: str
+    k_words: np.ndarray
+    v_words: np.ndarray
+    k_params: QuantParams
+    v_params: QuantParams
+
+    def dequant_kv(self, config: BitDecodingConfig) -> Tuple[np.ndarray, np.ndarray]:
+        """Unpack + dequantize this block back to FP32 ``(length, d)`` pairs."""
+        layout = _kv_fragment_layout(config)
+        if layout.name != self.layout_name:
+            raise ValueError(
+                "Packing Kernel instruction configuration "
+                f"({layout.name}) does not match the Residual Kernel's "
+                f"({self.layout_name}); Sec. IV-A(4) requires them identical"
+            )
+        k_codes = block_fragment_unpack(
+            self.k_words, (self.head_dim, self.length), layout, self.bits, self.word_bits
+        )
+        v_codes = block_fragment_unpack(
+            self.v_words, (self.length, self.head_dim), layout, self.bits, self.word_bits
+        )
+        k_hat = dequantize(k_codes.T, self.k_params)
+        v_hat = dequantize(v_codes, self.v_params)
+        return k_hat, v_hat
+
+    @property
+    def packed_nbytes(self) -> int:
+        return self.k_words.nbytes + self.v_words.nbytes
+
+    @property
+    def meta_nbytes(self) -> float:
+        return self.k_params.nbytes + self.v_params.nbytes
+
+
+@dataclass
+class Fp4Block:
+    """One micro-scaling FP4 block (Blackwell native path).
+
+    Stores the representable (already block-scaled) values the tensor cores
+    compute with, plus the per-block scales for byte accounting.
+    """
+
+    length: int
+    head_dim: int
+    fmt: str
+    k_values: np.ndarray
+    v_values: np.ndarray
+    k_scales: Fp4Params
+    v_scales: Fp4Params
+
+    def dequant_kv(self, config: BitDecodingConfig) -> Tuple[np.ndarray, np.ndarray]:
+        return self.k_values.astype(np.float32), self.v_values.astype(np.float32)
+
+    @property
+    def packed_nbytes(self) -> int:
+        return int(self.length * self.head_dim)  # 2 tensors x 4 bits
+
+    @property
+    def meta_nbytes(self) -> float:
+        return self.k_scales.nbytes + self.v_scales.nbytes
+
+
+def flush_block(
+    k_block: np.ndarray, v_block: np.ndarray, config: BitDecodingConfig
+):
+    """Quantize + pack one full residual block (the fused flush).
+
+    ``k_block`` / ``v_block`` are FP16 ``(N_r, d)``.  Returns a
+    :class:`PackedBlock` (integer path) or :class:`Fp4Block` (Blackwell
+    native path).
+    """
+    k_block = np.asarray(k_block, dtype=np.float32)
+    v_block = np.asarray(v_block, dtype=np.float32)
+    n, d = k_block.shape
+    if v_block.shape != (n, d):
+        raise ValueError("K and V blocks must share a shape")
+
+    if config.version == "fp4":
+        k_vals, k_scales = quantize_fp4(k_block, config.fp4_format, axis=-1)
+        v_vals, v_scales = quantize_fp4(v_block, config.fp4_format, axis=-1)
+        return Fp4Block(
+            length=n,
+            head_dim=d,
+            fmt=config.fp4_format,
+            k_values=k_vals.astype(np.float16),
+            v_values=v_vals.astype(np.float16),
+            k_scales=k_scales,
+            v_scales=v_scales,
+        )
+
+    # Group sizes clamp to the block's actual extents: the key group runs
+    # along seq (KC) or channels (KT), the value group along channels.
+    key_axis_len = n if config.granularity == "channel" else d
+    key_scheme = config.key_scheme
+    if key_scheme.group_size > key_axis_len:
+        key_scheme = QuantScheme(
+            bits=key_scheme.bits,
+            granularity=key_scheme.granularity,
+            group_size=key_axis_len,
+        )
+    k_codes, k_params = quantize_key(
+        k_block, key_scheme, seq_axis=0, channel_axis=1
+    )
+    v_codes, v_params = quantize_value(
+        v_block, config.bits, min(config.value_group_size, d), channel_axis=1
+    )
+    layout = _kv_fragment_layout(config)
+    interleaved = config.dequant_method == "lop3"
+    k_words = block_fragment_pack(
+        k_codes.T, layout, config.bits, config.word_bits, interleaved=interleaved
+    )
+    v_words = block_fragment_pack(
+        v_codes, layout, config.bits, config.word_bits, interleaved=interleaved
+    )
+    return PackedBlock(
+        length=n,
+        head_dim=d,
+        bits=config.bits,
+        word_bits=config.word_bits,
+        layout_name=layout.name,
+        k_words=k_words,
+        v_words=v_words,
+        k_params=k_params,
+        v_params=v_params,
+    )
+
+
+def attend_residual(
+    q_grouped: np.ndarray,
+    k_res: np.ndarray,
+    v_res: np.ndarray,
+    config: BitDecodingConfig,
+    scale: Optional[float] = None,
+) -> OnlineSoftmaxState:
+    """Attention of grouped queries over the FP16 residual rows.
+
+    ``q_grouped``: ``(M, d)`` for one (batch, kv-head); ``k_res``/``v_res``:
+    ``(res_len, d)``.  Returns the partial online-softmax state, merged by
+    the caller with the Packing Kernel's state.
+    """
+    q_grouped = np.asarray(q_grouped, dtype=np.float32)
+    k_res = np.asarray(k_res, dtype=np.float32)
+    v_res = np.asarray(v_res, dtype=np.float32)
+    if scale is None:
+        scale = 1.0 / math.sqrt(q_grouped.shape[-1])
+    state = OnlineSoftmaxState.fresh(q_grouped.shape[0], v_res.shape[-1])
+    if k_res.shape[0] == 0:
+        return state
+    s = (q_grouped @ k_res.T) * scale
+    v_tile = v_res
+    # Pad the partial residual to the warp split (-inf scores / zero rows),
+    # exactly as the kernel pads its warp tiles.
+    wn = config.effective_wn
+    remainder = s.shape[-1] % wn
+    if remainder:
+        pad = wn - remainder
+        s = np.concatenate(
+            [s, np.full((s.shape[0], pad), -np.inf, dtype=s.dtype)], axis=-1
+        )
+        v_tile = np.concatenate(
+            [v_tile, np.zeros((pad, v_tile.shape[-1]), dtype=v_tile.dtype)], axis=0
+        )
+    tile_softmax_split(state, s, v_tile, wn, cooperative=config.use_coop_softmax)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Trace builders (performance model)
+# ---------------------------------------------------------------------------
+
+
+def build_residual_launch(
+    geom: AttentionGeometry,
+    config: BitDecodingConfig,
+    arch: ArchSpec,
+    res_len: Optional[int] = None,
+    flush: bool = False,
+) -> KernelLaunch:
+    """Performance trace of one Residual-Kernel launch.
+
+    Covers attention over ``res_len`` FP16 tokens per (batch, kv-head) and,
+    when ``flush`` is set, the fused quantize+pack of the completed block.
+    """
+    nr = config.residual_block_size
+    if res_len is None:
+        res_len = nr
+    if not 0 < res_len <= nr:
+        raise ValueError(f"res_len must be in (0, {nr}], got {res_len}")
+    d = geom.head_dim
+    _, m_pad = gemm_m_dimension(geom.hq, geom.hkv, geom.q_len)
+    heads = geom.batch * geom.hkv
+
+    trace = OpTrace()
+    # FP16 residual K/V rows + grouped Q per head.
+    trace.gmem_read(heads * 2.0 * res_len * d * 2.0)
+    trace.gmem_read(heads * m_pad * d * 2.0)
+    # Partial-state output for the merge with the Packing Kernel.
+    trace.gmem_write(heads * m_pad * (d + 2.0) * 4.0)
+    # QK^T + PV on tensor cores over the residual rows.
+    trace.tensor_core(heads * 2.0 * 2.0 * m_pad * res_len * d, "fp16")
+    trace.merge(softmax_ops(heads * m_pad * res_len, heads * m_pad, config.effective_wn))
+    trace.merge(rescale_accum_ops(heads * m_pad * d))
+    # Staged tiles through shared memory (in + ldmatrix out).
+    trace.smem_traffic(heads * 2.0 * (2.0 * res_len * d * 2.0 + m_pad * d * 2.0))
+    trace.barriers_per_block += 2.0
+
+    subtraces = {}
+    if flush:
+        n_values = heads * 2.0 * nr * d
+        group = (
+            config.key_group_size
+            if config.version != "fp4"
+            else (32 if config.fp4_format == "mxfp4" else 16)
+        )
+        quant = quant_pack_ops(n_values, 4 if config.version == "fp4" else config.bits, group)
+        packed_bytes = heads * 2.0 * nr * d * config.storage_bits_per_value / 8.0
+        meta_bytes = _meta_bytes(heads, nr, d, config)
+        quant.gmem_write(packed_bytes + meta_bytes)
+        trace.merge(quant)
+        subtraces["quant_pack"] = quant
+
+    warp_layout = WarpLayout(wm=config.wm, wn=config.effective_wn)
+    # Residual rows are processed in tile_n-wide chunks like any other tile.
+    stage_rows = min(nr, config.tile_n)
+    smem = 2 * stage_rows * d * 2 + m_pad * d * 2 + 4096
+    # The residual path is FP16 (no dequant in the hot loop); overlap is
+    # governed by occupancy and the async-copy pipeline.
+    hide = memory_hide_factor(
+        2.0 * warp_layout.warps_per_block, pipelined=config.use_pipeline
+    )
+    return KernelLaunch(
+        name="residual_kernel",
+        trace=trace,
+        grid_blocks=heads,
+        warps_per_block=warp_layout.warps_per_block,
+        smem_per_block_bytes=smem,
+        hide_factor=hide,
+        instruction_path=config.instruction_path,
+        launches=1,
+        subtraces=subtraces,
+    )
+
+
+def _meta_bytes(
+    heads: float, n_tokens: float, d: float, config: BitDecodingConfig
+) -> float:
+    """Metadata bytes (scale/zero or block scales) for ``n_tokens`` per head."""
+    if config.version == "fp4":
+        block = 32 if config.fp4_format == "mxfp4" else 16
+        return heads * 2.0 * n_tokens * d / block
+    if config.granularity == "channel":
+        k_meta = heads * d * (n_tokens / config.key_group_size) * 4.0
+    else:
+        k_meta = heads * n_tokens * (d / config.key_group_size) * 4.0
+    v_meta = heads * n_tokens * (d / config.value_group_size) * 4.0
+    return k_meta + v_meta
+
+
+def build_prefill_quant_launch(
+    geom: AttentionGeometry, config: BitDecodingConfig, arch: ArchSpec
+) -> KernelLaunch:
+    """Trace of quantizing+packing a whole prefill context (Table II).
+
+    BitDecoding fuses this into the prefill attention epilogue: the KV tiles
+    are already in registers, so the only extra work is the quantization
+    math and the packed-cache writes — no separate transform pass.
+    """
+    nr = config.residual_block_size
+    packed_tokens = geom.seq_len - (geom.seq_len % nr)
+    heads = geom.batch * geom.hkv
+    d = geom.head_dim
+    n_values = heads * 2.0 * packed_tokens * d
+
+    trace = quant_pack_ops(n_values, config.bits, config.key_group_size)
+    packed_bytes = n_values * config.storage_bits_per_value / 8.0
+    trace.gmem_write(packed_bytes + _meta_bytes(heads, packed_tokens, d, config))
+
+    warp_layout = WarpLayout(wm=config.wm, wn=config.effective_wn)
+    return KernelLaunch(
+        name="prefill_quant_fused",
+        trace=trace,
+        grid_blocks=max(1, heads * max(1, packed_tokens // config.tile_n)),
+        warps_per_block=warp_layout.warps_per_block,
+        smem_per_block_bytes=16 * 1024,
+        hide_factor=1.0,
+        instruction_path=config.instruction_path,
+        launches=1,
+    )

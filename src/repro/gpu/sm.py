@@ -1,0 +1,91 @@
+"""Streaming-Multiprocessor occupancy model.
+
+Turns a launch configuration (blocks, warps per block, shared memory per
+block) into the quantities the time model needs: blocks resident per SM,
+machine-wide in-flight warps, the number of waves, and the fraction of SMs
+with work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.arch import ArchSpec
+
+#: Hardware cap on resident blocks per SM (post-Volta parts allow 16-32;
+#: attention kernels never hit it before warps/smem limits, but keep it).
+MAX_BLOCKS_PER_SM = 32
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy for one kernel launch."""
+
+    blocks_per_sm: int
+    active_sms: int
+    inflight_warps: int
+    waves: int
+
+    @property
+    def active_sm_fraction(self) -> float:
+        return self.active_sms / self._sm_count if self._sm_count else 0.0
+
+    # active_sm_fraction needs the machine size; stored privately.
+    _sm_count: int = 0
+
+
+def occupancy(
+    arch: ArchSpec,
+    grid_blocks: int,
+    warps_per_block: int,
+    smem_per_block_bytes: int = 0,
+    regs_per_thread: int = 64,
+) -> Occupancy:
+    """Compute occupancy for a launch on ``arch``.
+
+    Raises ``ValueError`` when one block cannot fit on an SM at all (too
+    much shared memory or too many warps) — a real launch failure.
+    """
+    if grid_blocks <= 0:
+        raise ValueError("grid_blocks must be positive")
+    if warps_per_block <= 0:
+        raise ValueError("warps_per_block must be positive")
+    if warps_per_block > arch.max_warps_per_sm:
+        raise ValueError(
+            f"block of {warps_per_block} warps exceeds SM limit "
+            f"{arch.max_warps_per_sm} on {arch.name}"
+        )
+    if smem_per_block_bytes > arch.smem_per_sm_bytes:
+        raise ValueError(
+            f"block needs {smem_per_block_bytes} B shared memory; "
+            f"{arch.name} SM has {arch.smem_per_sm_bytes} B"
+        )
+
+    by_warps = arch.max_warps_per_sm // warps_per_block
+    by_smem = (
+        arch.smem_per_sm_bytes // smem_per_block_bytes
+        if smem_per_block_bytes > 0
+        else MAX_BLOCKS_PER_SM
+    )
+    threads_per_block = warps_per_block * 32
+    by_regs = (
+        arch.registers_per_sm // (regs_per_thread * threads_per_block)
+        if regs_per_thread > 0
+        else MAX_BLOCKS_PER_SM
+    )
+    blocks_per_sm = max(1, min(by_warps, by_smem, by_regs, MAX_BLOCKS_PER_SM))
+
+    resident_blocks = min(grid_blocks, blocks_per_sm * arch.sm_count)
+    # The block scheduler spreads blocks round-robin: every SM has work as
+    # long as there are at least sm_count blocks.
+    active_sms = min(arch.sm_count, grid_blocks)
+    inflight_warps = resident_blocks * warps_per_block
+    waves = math.ceil(grid_blocks / (blocks_per_sm * arch.sm_count))
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        active_sms=active_sms,
+        inflight_warps=inflight_warps,
+        waves=waves,
+        _sm_count=arch.sm_count,
+    )

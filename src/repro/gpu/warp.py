@@ -1,0 +1,91 @@
+"""Warp-scheduler latency-hiding model.
+
+The paper's Challenge 2 (Fig. 4) and Table III show that where dequantization
+sits relative to the warp layout decides whether it stalls Tensor Cores:
+
+- Under FlashAttention's original partitioning, one warp owns the whole N
+  dimension of a tile (``Wn = 1``).  The dequant -> mma chain inside that
+  warp has no independent peer to hide behind, so the SM scheduler cannot
+  overlap CUDA-core dequantization with Tensor-Core MMA: the two serialize.
+- BitDecoding sets ``Wm = 1`` and widens ``Wn``, giving the scheduler
+  ``Wn`` independent dequant/mma streams; one warp's dequant hides under
+  another's MMA.
+
+This module turns a warp layout (plus whether the software pipeline is
+enabled) into a *hide factor* in [0, 1]: 1 means resource times combine as
+``max`` (perfect overlap), 0 means they add (full serialization).  The
+kernel model interpolates between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WarpLayout:
+    """Warp tiling of one thread block over an (M, N) score tile.
+
+    ``wm`` warps partition the M (query) dimension, ``wn`` the N (key)
+    dimension.  FlashAttention decode kernels historically use
+    ``wm = warps, wn = 1``; BitDecoding uses ``wm = 1, wn = warps``
+    (Sec. IV-B(1)).
+    """
+
+    wm: int
+    wn: int
+
+    def __post_init__(self) -> None:
+        if self.wm <= 0 or self.wn <= 0:
+            raise ValueError("warp counts must be positive")
+
+    @property
+    def warps_per_block(self) -> int:
+        return self.wm * self.wn
+
+
+def dequant_hide_factor(layout: WarpLayout, pipelined: bool = True) -> float:
+    """How well per-warp CUDA-core work hides under Tensor-Core MMA.
+
+    With ``wn`` independent warps along N the scheduler can interleave
+    ``wn`` dequant/MMA streams, hiding ``(wn - 1)/wn`` of the serial
+    exposure.  Disabling the software pipeline (no double-buffered
+    ldmatrix/dequant ahead of the MMA) halves the achievable overlap: even
+    with many warps, each one alternates load/dequant/mma phases.
+    """
+    hide = 1.0 - 1.0 / layout.wn
+    if not pipelined:
+        hide *= 0.5
+    return hide
+
+
+def memory_hide_factor(inflight_warps_per_sm: float, pipelined: bool = True) -> float:
+    """How well global-memory latency hides under compute.
+
+    ``cp.async`` / TMA double buffering plus a few resident warps is enough
+    to overlap the tile-load stream with compute; without the async
+    pipeline, loads synchronize with compute at every tile.
+    """
+    if inflight_warps_per_sm <= 0:
+        return 0.0
+    base = min(1.0, inflight_warps_per_sm / 8.0)
+    if not pipelined:
+        base *= 0.5
+    return base
+
+
+def combined_hide_factor(
+    layout: WarpLayout,
+    inflight_warps_per_sm: float,
+    pipelined: bool = True,
+) -> float:
+    """Overall overlap quality for a fused mixed-precision attention kernel.
+
+    The kernel's exposure is governed by its weakest overlap mechanism:
+    dequant-vs-MMA interleaving (warp layout) and load-vs-compute
+    double-buffering (async pipeline + occupancy).
+    """
+    return min(
+        dequant_hide_factor(layout, pipelined=pipelined),
+        memory_hide_factor(inflight_warps_per_sm, pipelined=pipelined),
+    )

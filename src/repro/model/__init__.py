@@ -1,0 +1,60 @@
+"""LLM substrate: model configs, a runnable transformer, e2e latency,
+serving-throughput and accuracy-proxy models (Sec. VI-B / VI-C)."""
+
+from repro.model.config import (
+    LLAMA2_7B,
+    LLAMA31_8B,
+    LLAMA31_70B,
+    MODEL_REGISTRY,
+    ModelConfig,
+    QWEN3_14B,
+    QWEN3_8B,
+    get_model,
+)
+from repro.model.inference import (
+    DecodeStepBreakdown,
+    decode_step_breakdown,
+    decode_step_ms,
+    decode_throughput_tokens_per_s,
+    generation_latency_s,
+    weight_gemm_ms,
+)
+from repro.model.serving import (
+    CacheFormat,
+    ServingOOMError,
+    cache_bytes_per_token,
+    fits,
+    fp16_format,
+    int_format,
+    max_batch_size,
+    max_throughput_tokens_per_s,
+    memory_required_bytes,
+)
+from repro.model.transformer import TinyTransformer
+
+__all__ = [
+    "LLAMA2_7B",
+    "LLAMA31_8B",
+    "LLAMA31_70B",
+    "QWEN3_8B",
+    "QWEN3_14B",
+    "MODEL_REGISTRY",
+    "ModelConfig",
+    "get_model",
+    "DecodeStepBreakdown",
+    "decode_step_breakdown",
+    "decode_step_ms",
+    "decode_throughput_tokens_per_s",
+    "generation_latency_s",
+    "weight_gemm_ms",
+    "CacheFormat",
+    "ServingOOMError",
+    "cache_bytes_per_token",
+    "fits",
+    "fp16_format",
+    "int_format",
+    "max_batch_size",
+    "max_throughput_tokens_per_s",
+    "memory_required_bytes",
+    "TinyTransformer",
+]

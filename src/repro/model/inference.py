@@ -1,0 +1,138 @@
+"""End-to-end decode latency model (Sec. VI-B).
+
+One decode step of a transformer =
+
+- **weight GEMMs** — memory-bound at small batch (stream every parameter),
+  compute-bound at large batch (Tensor-Core roofline);
+- **attention** — per-layer kernel time from whichever attention system is
+  plugged in (BitDecoding, FlashDecoding, KIVI, QServe, ...), which is what
+  the whole paper is about;
+- **fixed overheads** — per-layer launch/dispatch not already counted in
+  the attention kernel, and tensor-parallel all-reduces for multi-GPU.
+
+The attention-system protocol is duck-typed: anything with
+``decode_time_ms(geom)`` works (every kernel class in this repo does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.config import AttentionGeometry
+from repro.gpu.arch import ArchSpec
+from repro.model.config import ModelConfig
+
+#: NVLink all-reduce bandwidth per GPU (A100 SXM, for the 70B/8xA100 row).
+_NVLINK_BW_GBS = 300.0
+#: Fixed all-reduce latency per layer per step.
+_ALLREDUCE_LATENCY_US = 10.0
+#: Non-attention kernels per layer (norms, GEMM launches) after CUDA-graph
+#: style batching.
+_AUX_LAUNCHES_PER_LAYER = 1.5
+
+
+class AttentionSystem(Protocol):
+    """Anything that can report a decode-attention latency."""
+
+    def decode_time_ms(self, geom: AttentionGeometry) -> float: ...
+
+
+@dataclass
+class DecodeStepBreakdown:
+    """Latency components of one end-to-end decode step (milliseconds)."""
+
+    weights_ms: float
+    attention_ms: float
+    overhead_ms: float
+    comm_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.weights_ms + self.attention_ms + self.overhead_ms + self.comm_ms
+
+
+def weight_gemm_ms(
+    model: ModelConfig, arch: ArchSpec, batch: int, n_gpus: int = 1
+) -> float:
+    """Per-step weight-GEMM time: max(memory roofline, compute roofline)."""
+    if batch <= 0 or n_gpus <= 0:
+        raise ValueError("batch and n_gpus must be positive")
+    weights = model.weights_bytes() / n_gpus
+    t_mem = weights / arch.dram_bw_bytes_per_s
+    flops = 2.0 * model.param_count * batch / n_gpus
+    t_compute = flops / arch.tc_flops_per_s("fp16")
+    return max(t_mem, t_compute) * 1e3
+
+
+def decode_step_breakdown(
+    model: ModelConfig,
+    arch: ArchSpec,
+    attention: AttentionSystem,
+    batch: int,
+    seq_len: int,
+    n_gpus: int = 1,
+) -> DecodeStepBreakdown:
+    """Full latency breakdown of one decode step."""
+    geom = model.attention_geometry(batch, seq_len)
+    attn_ms = model.n_layers * attention.decode_time_ms(geom)
+    weights_ms = weight_gemm_ms(model, arch, batch, n_gpus)
+    overhead_ms = (
+        model.n_layers * _AUX_LAUNCHES_PER_LAYER * arch.kernel_launch_us * 1e-3
+    )
+    comm_ms = 0.0
+    if n_gpus > 1:
+        bytes_per_layer = 2.0 * batch * model.hidden * 2.0  # two all-reduces
+        comm_ms = model.n_layers * (
+            bytes_per_layer / (_NVLINK_BW_GBS * 1e9) * 1e3
+            + _ALLREDUCE_LATENCY_US * 1e-3
+        )
+    return DecodeStepBreakdown(
+        weights_ms=weights_ms,
+        attention_ms=attn_ms,
+        overhead_ms=overhead_ms,
+        comm_ms=comm_ms,
+    )
+
+
+def decode_step_ms(
+    model: ModelConfig,
+    arch: ArchSpec,
+    attention: AttentionSystem,
+    batch: int,
+    seq_len: int,
+    n_gpus: int = 1,
+) -> float:
+    return decode_step_breakdown(model, arch, attention, batch, seq_len, n_gpus).total_ms
+
+
+def decode_throughput_tokens_per_s(
+    model: ModelConfig,
+    arch: ArchSpec,
+    attention: AttentionSystem,
+    batch: int,
+    seq_len: int,
+    n_gpus: int = 1,
+) -> float:
+    """Decoded tokens per second across the whole batch."""
+    step_ms = decode_step_ms(model, arch, attention, batch, seq_len, n_gpus)
+    return batch / (step_ms * 1e-3)
+
+
+def generation_latency_s(
+    model: ModelConfig,
+    arch: ArchSpec,
+    attention: AttentionSystem,
+    seq_len: int,
+    new_tokens: int,
+    batch: int = 1,
+    n_gpus: int = 1,
+) -> float:
+    """Latency to generate ``new_tokens`` after a ``seq_len`` context.
+
+    Sums per-step latencies as the cache grows (the Fig. 12a setting).
+    """
+    total_ms = 0.0
+    for t in range(new_tokens):
+        total_ms += decode_step_ms(model, arch, attention, batch, seq_len + t, n_gpus)
+    return total_ms * 1e-3

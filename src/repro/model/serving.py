@@ -1,0 +1,123 @@
+"""Serving model: memory capacity, batch limits, max throughput.
+
+The paper's serving results (Figs. 12b, 13, Table I) hinge on one chain of
+effects: lower-bit caches fit more sequences in device memory, bigger
+batches amortize the weight GEMMs, and the attention kernel must not throw
+the advantage away.  This module owns that chain: a memory model (weights +
+paged KV + workspace), the max-batch computation, and a throughput sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.gpu.arch import ArchSpec
+from repro.model.config import ModelConfig
+from repro.model.inference import AttentionSystem, decode_throughput_tokens_per_s
+
+#: Fraction of device memory usable for weights+cache (allocator slack,
+#: activations, CUDA context).
+_USABLE_MEMORY_FRACTION = 0.9
+
+
+class ServingOOMError(RuntimeError):
+    """A requested serving point does not fit in device memory."""
+
+
+@dataclass(frozen=True)
+class CacheFormat:
+    """Storage cost of one KV-cache format."""
+
+    name: str
+    bits_per_value: float
+    #: Metadata bytes per token per layer (scales/zeros across heads).
+    meta_bytes_per_token_layer: float = 0.0
+    #: Extra resident workspace the system needs, as a function of
+    #: (batch, seq_len) -> bytes (e.g. KIVI's materialized score matrix).
+    workspace_bytes: Optional[Callable[[int, int], float]] = None
+
+
+def fp16_format() -> CacheFormat:
+    return CacheFormat(name="FP16", bits_per_value=16.0)
+
+
+def int_format(bits: int, model: ModelConfig, group_size: int = 64) -> CacheFormat:
+    """Integer cache with channel-wise keys + per-token values (half2)."""
+    k_meta = model.hkv * model.head_dim / group_size * 4.0
+    v_meta = model.hkv * 4.0
+    return CacheFormat(
+        name=f"INT{bits}",
+        bits_per_value=float(bits),
+        meta_bytes_per_token_layer=k_meta + v_meta,
+    )
+
+
+def cache_bytes_per_token(model: ModelConfig, fmt: CacheFormat) -> float:
+    per_layer = (
+        2.0 * model.hkv * model.head_dim * fmt.bits_per_value / 8.0
+        + fmt.meta_bytes_per_token_layer
+    )
+    return model.n_layers * per_layer
+
+
+def memory_required_bytes(
+    model: ModelConfig,
+    fmt: CacheFormat,
+    batch: int,
+    seq_len: int,
+    n_gpus: int = 1,
+) -> float:
+    """Device-resident bytes at a serving point (per GPU)."""
+    total = model.weights_bytes() / n_gpus
+    total += batch * seq_len * cache_bytes_per_token(model, fmt) / n_gpus
+    if fmt.workspace_bytes is not None:
+        total += fmt.workspace_bytes(batch, seq_len) / n_gpus
+    return total
+
+
+def fits(
+    model: ModelConfig, arch: ArchSpec, fmt: CacheFormat,
+    batch: int, seq_len: int, n_gpus: int = 1,
+) -> bool:
+    budget = arch.memory_gb * (1024 ** 3) * _USABLE_MEMORY_FRACTION
+    return memory_required_bytes(model, fmt, batch, seq_len, n_gpus) <= budget
+
+
+def max_batch_size(
+    model: ModelConfig, arch: ArchSpec, fmt: CacheFormat,
+    seq_len: int, n_gpus: int = 1, cap: int = 1024,
+) -> int:
+    """Largest batch that fits; 0 when even batch=1 OOMs."""
+    if not fits(model, arch, fmt, 1, seq_len, n_gpus):
+        return 0
+    lo, hi = 1, cap
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if fits(model, arch, fmt, mid, seq_len, n_gpus):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def max_throughput_tokens_per_s(
+    model: ModelConfig,
+    arch: ArchSpec,
+    fmt: CacheFormat,
+    attention: AttentionSystem,
+    seq_len: int,
+    n_gpus: int = 1,
+    batch_cap: int = 1024,
+) -> float:
+    """Throughput at the largest feasible batch (the paper's protocol:
+    "maximum throughput ... under the largest batch sizes available within
+    GPU memory")."""
+    batch = max_batch_size(model, arch, fmt, seq_len, n_gpus, cap=batch_cap)
+    if batch == 0:
+        raise ServingOOMError(
+            f"{model.name} with {fmt.name} cache does not fit one sequence "
+            f"of {seq_len} tokens on {arch.name} x{n_gpus}"
+        )
+    return decode_throughput_tokens_per_s(model, arch, attention, batch, seq_len, n_gpus)

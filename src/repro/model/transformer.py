@@ -1,0 +1,212 @@
+"""A small runnable numpy transformer decoder.
+
+A functional substrate for end-to-end *numerics*: RMSNorm, RoPE, attention
+through any pluggable engine (the BitDecoding engine, or exact FP16
+reference), and a SwiGLU MLP.  Used by the integration tests and the
+LongBench-proxy accuracy suite to push real activations through the real
+quantized-cache code paths — not to reproduce trained-model quality, which
+per DESIGN.md is out of scope for weights we cannot download.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.attention import BitDecoding, BitKVCache
+from repro.core.softmax import reference_attention
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square layer norm (LLaMA-style, no mean subtraction)."""
+    x = np.asarray(x, dtype=np.float32)
+    scale = 1.0 / np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    return x * scale * weight
+
+
+def rope_angles(head_dim: int, positions: np.ndarray, base: float = 10000.0) -> Tuple[np.ndarray, np.ndarray]:
+    """(cos, sin) tables for rotary position embedding."""
+    if head_dim % 2 != 0:
+        raise ValueError("head_dim must be even for RoPE")
+    inv_freq = base ** (-np.arange(0, head_dim, 2, dtype=np.float32) / head_dim)
+    angles = np.outer(np.asarray(positions, dtype=np.float32), inv_freq)
+    return np.cos(angles), np.sin(angles)
+
+
+def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Rotate pairs of channels; ``x`` is ``(..., seq, head_dim)``."""
+    x = np.asarray(x, dtype=np.float32)
+    x1, x2 = x[..., 0::2], x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out
+
+
+def swiglu(x: np.ndarray, w_gate: np.ndarray, w_up: np.ndarray, w_down: np.ndarray) -> np.ndarray:
+    """SwiGLU MLP: ``down(silu(x @ gate) * (x @ up))``."""
+    gate = x @ w_gate
+    gate = gate / (1.0 + np.exp(-gate))  # SiLU
+    return (gate * (x @ w_up)) @ w_down
+
+
+@dataclass
+class LayerWeights:
+    """Weights of one decoder layer."""
+
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    w_gate: np.ndarray
+    w_up: np.ndarray
+    w_down: np.ndarray
+    norm_attn: np.ndarray
+    norm_mlp: np.ndarray
+
+
+@dataclass
+class TinyTransformer:
+    """A decoder-only transformer with a pluggable KV-cache engine.
+
+    ``engine=None`` runs exact FP16 attention (the accuracy reference);
+    otherwise all attention flows through the BitDecoding engine's
+    quantized cache, exercising prefill packing, residual appends and the
+    Packing-Kernel numerics end to end.
+    """
+
+    n_layers: int
+    hq: int
+    hkv: int
+    head_dim: int
+    hidden: int
+    intermediate: int
+    engine: Optional[BitDecoding] = None
+    seed: int = 0
+    layers: List[LayerWeights] = field(init=False)
+    caches: List[object] = field(init=False, default_factory=list)
+    _ref_k: List[np.ndarray] = field(init=False, default_factory=list)
+    _ref_v: List[np.ndarray] = field(init=False, default_factory=list)
+    _positions: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.hq * self.head_dim != self.hidden:
+            raise ValueError("hq * head_dim must equal hidden")
+        rng = np.random.default_rng(self.seed)
+        scale = 1.0 / math.sqrt(self.hidden)
+        kv_dim = self.hkv * self.head_dim
+
+        def w(rows, cols):
+            return (rng.standard_normal((rows, cols)) * scale).astype(np.float32)
+
+        self.layers = [
+            LayerWeights(
+                wq=w(self.hidden, self.hidden),
+                wk=w(self.hidden, kv_dim),
+                wv=w(self.hidden, kv_dim),
+                wo=w(self.hidden, self.hidden),
+                w_gate=w(self.hidden, self.intermediate),
+                w_up=w(self.hidden, self.intermediate),
+                w_down=w(self.intermediate, self.hidden),
+                norm_attn=np.ones(self.hidden, dtype=np.float32),
+                norm_mlp=np.ones(self.hidden, dtype=np.float32),
+            )
+            for _ in range(self.n_layers)
+        ]
+
+    # ------------------------------------------------------------------ plumbing
+
+    def _project_kv(self, layer: LayerWeights, x: np.ndarray, pos0: int):
+        """(k, v) heads for tokens ``x`` of shape (batch, seq, hidden)."""
+        batch, seq, _ = x.shape
+        k = (x @ layer.wk).reshape(batch, seq, self.hkv, self.head_dim)
+        v = (x @ layer.wv).reshape(batch, seq, self.hkv, self.head_dim)
+        cos, sin = rope_angles(self.head_dim, np.arange(pos0, pos0 + seq))
+        k = apply_rope(k.transpose(0, 2, 1, 3), cos, sin)  # (b, hkv, seq, d)
+        v = v.transpose(0, 2, 1, 3)
+        return k, v
+
+    def prefill(self, x: np.ndarray) -> np.ndarray:
+        """Process a prompt ``(batch, seq, hidden)``; builds the caches."""
+        x = np.asarray(x, dtype=np.float32)
+        batch, seq, _ = x.shape
+        self.caches = []
+        self._ref_k, self._ref_v = [], []
+        self._positions = seq
+        h = x
+        for layer in self.layers:
+            normed = rms_norm(h, layer.norm_attn)
+            k, v = self._project_kv(layer, normed, 0)
+            if self.engine is not None:
+                cache = self.engine.prefill(k.astype(np.float16), v.astype(np.float16))
+                self.caches.append(cache)
+            else:
+                self.caches.append(None)
+            self._ref_k.append(k)
+            self._ref_v.append(v)
+            attn = self._attend_prefill(layer, normed, k, v)
+            h = h + attn
+            h = h + swiglu(rms_norm(h, layer.norm_mlp), layer.w_gate, layer.w_up, layer.w_down)
+        return h
+
+    def _attend_prefill(self, layer, normed, k, v) -> np.ndarray:
+        """Causal FP16 prefill attention (prefill is not the paper's focus)."""
+        batch, seq, _ = normed.shape
+        q = (normed @ layer.wq).reshape(batch, seq, self.hq, self.head_dim)
+        cos, sin = rope_angles(self.head_dim, np.arange(seq))
+        q = apply_rope(q.transpose(0, 2, 1, 3), cos, sin)  # (b, hq, seq, d)
+        gq = self.hq // self.hkv
+        out = np.empty_like(q)
+        scale = 1.0 / math.sqrt(self.head_dim)
+        for b in range(batch):
+            for hh in range(self.hq):
+                kv_h = hh // gq
+                s = (q[b, hh] @ k[b, kv_h].T) * scale
+                causal = np.triu(np.full((seq, seq), -np.inf, dtype=np.float32), k=1)
+                s = s + causal
+                s = s - s.max(axis=-1, keepdims=True)
+                p = np.exp(s)
+                p /= p.sum(axis=-1, keepdims=True)
+                out[b, hh] = p @ v[b, kv_h]
+        out = out.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden)
+        return out @ layer.wo
+
+    def decode_step(self, x: np.ndarray) -> np.ndarray:
+        """One decode step for ``x`` of shape (batch, hidden)."""
+        x = np.asarray(x, dtype=np.float32)
+        batch = x.shape[0]
+        pos = self._positions
+        h = x[:, None, :]  # (b, 1, hidden)
+        for i, layer in enumerate(self.layers):
+            normed = rms_norm(h, layer.norm_attn)
+            k_new, v_new = self._project_kv(layer, normed, pos)
+            q = (normed @ layer.wq).reshape(batch, 1, self.hq, self.head_dim)
+            cos, sin = rope_angles(self.head_dim, np.asarray([pos]))
+            q = apply_rope(q.transpose(0, 2, 1, 3), cos, sin).transpose(0, 2, 1, 3)
+
+            if self.engine is not None:
+                cache: BitKVCache = self.caches[i]
+                cache.append_token(k_new[:, :, 0], v_new[:, :, 0])
+                attn = self.engine.decode(q, cache)
+            else:
+                self._ref_k[i] = np.concatenate([self._ref_k[i], k_new], axis=2)
+                self._ref_v[i] = np.concatenate([self._ref_v[i], v_new], axis=2)
+                attn = self._exact_decode(q, self._ref_k[i], self._ref_v[i])
+            attn = attn.reshape(batch, 1, self.hidden) @ layer.wo
+            h = h + attn
+            h = h + swiglu(rms_norm(h, layer.norm_mlp), layer.w_gate, layer.w_up, layer.w_down)
+        self._positions += 1
+        return h[:, 0, :]
+
+    def _exact_decode(self, q, k, v) -> np.ndarray:
+        batch = q.shape[0]
+        gq = self.hq // self.hkv
+        out = np.empty((batch, 1, self.hq, self.head_dim), dtype=np.float32)
+        for b in range(batch):
+            for hh in range(self.hq):
+                kv_h = hh // gq
+                out[b, 0, hh] = reference_attention(q[b, 0, hh : hh + 1], k[b, kv_h], v[b, kv_h])
+        return out

@@ -1,0 +1,20 @@
+"""Paged KV-cache management (the paper's "Page" kernel setting).
+
+A vLLM-style substrate: physical KV memory is carved into fixed-size pages,
+sequences map logical token positions to (page, offset) through a page
+table, and an allocator hands pages out / reclaims them.  BitDecoding and
+the fused baselines (QServe, Atom) run on top of this for the
+high-throughput serving benchmarks (Figs. 10, 11, 13).
+"""
+
+from repro.pages.allocator import OutOfPagesError, PageAllocator
+from repro.pages.page_table import PagedSequence, PageTable
+from repro.pages.paged_cache import PagedKVStore
+
+__all__ = [
+    "PageAllocator",
+    "OutOfPagesError",
+    "PageTable",
+    "PagedSequence",
+    "PagedKVStore",
+]

@@ -1,0 +1,65 @@
+"""Physical page allocator for the paged KV cache."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+
+class OutOfPagesError(RuntimeError):
+    """Raised when an allocation cannot be satisfied (the OOM signal the
+    serving layer uses to cap batch size)."""
+
+
+class PageAllocator:
+    """Fixed pool of physical pages with O(1) allocate/free.
+
+    Pages are identified by integer ids in ``[0, n_pages)``.  The allocator
+    tracks the free list explicitly so tests can assert conservation
+    invariants (no double allocation, no double free, free+used == total).
+    """
+
+    def __init__(self, n_pages: int):
+        if n_pages <= 0:
+            raise ValueError("n_pages must be positive")
+        self.n_pages = n_pages
+        self._free: List[int] = list(range(n_pages - 1, -1, -1))
+        self._used: Set[int] = set()
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_pages(self) -> int:
+        return len(self._used)
+
+    def allocate(self) -> int:
+        """Take one page; raises :class:`OutOfPagesError` when exhausted."""
+        if not self._free:
+            raise OutOfPagesError(
+                f"all {self.n_pages} pages in use; cannot grow the KV cache"
+            )
+        page = self._free.pop()
+        self._used.add(page)
+        return page
+
+    def allocate_many(self, count: int) -> List[int]:
+        """Take ``count`` pages atomically (all or nothing)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > len(self._free):
+            raise OutOfPagesError(
+                f"requested {count} pages but only {len(self._free)} free"
+            )
+        return [self.allocate() for _ in range(count)]
+
+    def free(self, page: int) -> None:
+        """Return a page to the pool; double frees raise."""
+        if page not in self._used:
+            raise ValueError(f"page {page} is not allocated")
+        self._used.remove(page)
+        self._free.append(page)
+
+    def free_many(self, pages: List[int]) -> None:
+        for page in pages:
+            self.free(page)

@@ -1,0 +1,81 @@
+"""Logical-to-physical page tables for paged sequences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.pages.allocator import PageAllocator
+
+
+@dataclass
+class PagedSequence:
+    """One sequence's page table: logical token index -> (page, offset)."""
+
+    page_size: int
+    pages: List[int] = field(default_factory=list)
+    length: int = 0
+
+    def lookup(self, token_idx: int) -> Tuple[int, int]:
+        """Physical (page_id, offset) of a logical token index."""
+        if not 0 <= token_idx < self.length:
+            raise IndexError(f"token {token_idx} out of range [0, {self.length})")
+        return self.pages[token_idx // self.page_size], token_idx % self.page_size
+
+    @property
+    def capacity(self) -> int:
+        return len(self.pages) * self.page_size
+
+    def needs_page(self) -> bool:
+        return self.length == self.capacity
+
+
+class PageTable:
+    """Page tables for a batch of sequences over one shared allocator.
+
+    Bytes-per-token accounting is left to callers (it depends on the cache's
+    bit width); this class manages only the page geometry.
+    """
+
+    def __init__(self, allocator: PageAllocator, page_size: int = 64):
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.allocator = allocator
+        self.page_size = page_size
+        self.sequences: List[PagedSequence] = []
+
+    def add_sequence(self, initial_length: int = 0) -> int:
+        """Register a sequence, allocating pages for an initial context.
+
+        Returns the sequence id.  Raises ``OutOfPagesError`` (leaving no
+        partial allocation behind) when the pool cannot hold the context.
+        """
+        n_pages = -(-initial_length // self.page_size) if initial_length else 0
+        pages = self.allocator.allocate_many(n_pages)
+        seq = PagedSequence(page_size=self.page_size, pages=pages, length=initial_length)
+        self.sequences.append(seq)
+        return len(self.sequences) - 1
+
+    def append_token(self, seq_id: int) -> None:
+        """Grow a sequence by one token, allocating a page on boundaries."""
+        seq = self.sequences[seq_id]
+        if seq.needs_page():
+            seq.pages.append(self.allocator.allocate())
+        seq.length += 1
+
+    def release_sequence(self, seq_id: int) -> None:
+        """Free all pages of a finished sequence."""
+        seq = self.sequences[seq_id]
+        self.allocator.free_many(seq.pages)
+        seq.pages = []
+        seq.length = 0
+
+    def total_tokens(self) -> int:
+        return sum(seq.length for seq in self.sequences)
+
+    def fragmentation(self) -> float:
+        """Fraction of allocated page capacity holding no token."""
+        capacity = sum(seq.capacity for seq in self.sequences)
+        if capacity == 0:
+            return 0.0
+        return 1.0 - self.total_tokens() / capacity

@@ -1,0 +1,82 @@
+"""Numeric paged KV storage: rows physically live in pages.
+
+The perf model treats paging as an access-pattern/lookup cost; this module
+provides the *numeric* counterpart so paged storage can be validated end to
+end: K/V rows are written into fixed-size physical pages through a
+:class:`~repro.pages.page_table.PageTable`, and gathering a sequence back
+must reproduce the rows in logical order regardless of which physical
+pages the allocator handed out.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.pages.allocator import PageAllocator
+from repro.pages.page_table import PageTable
+
+
+class PagedKVStore:
+    """Paged physical storage for one layer's FP16 K/V rows.
+
+    Physical memory is two arrays of shape ``(n_pages, page_size, d)``;
+    sequences map logical token indices onto (page, offset) slots via the
+    shared page table.  Pages freed by finished sequences are recycled, so
+    a long-lived store's physical pages interleave across sequences —
+    exactly the situation the gather path must get right.
+    """
+
+    def __init__(self, n_pages: int, page_size: int, head_dim: int):
+        if head_dim <= 0:
+            raise ValueError("head_dim must be positive")
+        self.allocator = PageAllocator(n_pages)
+        self.table = PageTable(self.allocator, page_size=page_size)
+        self.head_dim = head_dim
+        self.k_pages = np.zeros((n_pages, page_size, head_dim), dtype=np.float16)
+        self.v_pages = np.zeros((n_pages, page_size, head_dim), dtype=np.float16)
+
+    @property
+    def page_size(self) -> int:
+        return self.table.page_size
+
+    def add_sequence(self) -> int:
+        """Register an empty sequence; returns its id."""
+        return self.table.add_sequence(0)
+
+    def append(self, seq_id: int, k_row: np.ndarray, v_row: np.ndarray) -> None:
+        """Append one token's K/V rows to a sequence."""
+        k_row = np.asarray(k_row, dtype=np.float16).reshape(self.head_dim)
+        v_row = np.asarray(v_row, dtype=np.float16).reshape(self.head_dim)
+        self.table.append_token(seq_id)
+        seq = self.table.sequences[seq_id]
+        page, offset = seq.lookup(seq.length - 1)
+        self.k_pages[page, offset] = k_row
+        self.v_pages[page, offset] = v_row
+
+    def gather(self, seq_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All of a sequence's rows in logical order (the kernel's view)."""
+        seq = self.table.sequences[seq_id]
+        n = seq.length
+        k = np.empty((n, self.head_dim), dtype=np.float16)
+        v = np.empty((n, self.head_dim), dtype=np.float16)
+        if n == 0:
+            return k, v
+        pages = np.asarray(seq.pages)
+        full, rem = divmod(n, self.page_size)
+        if full:
+            k[: full * self.page_size] = self.k_pages[pages[:full]].reshape(-1, self.head_dim)
+            v[: full * self.page_size] = self.v_pages[pages[:full]].reshape(-1, self.head_dim)
+        if rem:
+            k[full * self.page_size :] = self.k_pages[pages[full], :rem]
+            v[full * self.page_size :] = self.v_pages[pages[full], :rem]
+        return k, v
+
+    def release(self, seq_id: int) -> None:
+        """Finish a sequence and recycle its pages."""
+        self.table.release_sequence(seq_id)
+
+    @property
+    def physical_nbytes(self) -> int:
+        return self.k_pages.nbytes + self.v_pages.nbytes

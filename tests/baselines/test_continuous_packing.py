@@ -1,0 +1,66 @@
+"""Continuous-packing baseline (Fig. 16's starting point)."""
+
+import pytest
+
+from repro.baselines.continuous_packing import (
+    ContinuousPacking,
+    ablation_config,
+    build_repack_launch,
+)
+from repro.core.attention import BitDecoding
+from repro.core.config import AttentionGeometry, BitDecodingConfig
+from repro.gpu.kernel import simulate_kernel
+
+
+@pytest.fixture
+def geom():
+    return AttentionGeometry(8, 32, 8, 8192, 128)
+
+
+class TestAblationConfig:
+    def test_flags_applied(self):
+        base = BitDecodingConfig(bits=4)
+        cfg = ablation_config(base, layout=False, warps=True, pipeline=False)
+        assert not cfg.use_layout_induction
+        assert cfg.use_warp_parallel
+        assert not cfg.use_pipeline
+
+    def test_base_untouched(self):
+        base = BitDecodingConfig(bits=4)
+        ablation_config(base, layout=False, warps=False, pipeline=False)
+        assert base.use_layout_induction
+
+
+class TestRepackPass:
+    def test_repack_touches_whole_cache(self, a100, geom):
+        launch = build_repack_launch(geom, BitDecodingConfig(bits=4), a100)
+        packed = geom.kv_elements * 4 / 8
+        assert launch.trace.gmem_read_bytes == pytest.approx(packed)
+        assert launch.trace.gmem_write_bytes == pytest.approx(packed)
+
+    def test_repack_scales_with_seq(self, a100):
+        cfg = BitDecodingConfig(bits=4)
+        short = simulate_kernel(a100, build_repack_launch(AttentionGeometry(8, 32, 8, 4096, 128), cfg, a100))
+        long = simulate_kernel(a100, build_repack_launch(AttentionGeometry(8, 32, 8, 16384, 128), cfg, a100))
+        assert long.time_s > 2 * short.time_s
+
+
+class TestBreakdownMonotonicity:
+    def test_each_stage_helps(self, a100, geom):
+        """The Fig. 16 ladder must be monotone on every device."""
+        base_cfg = BitDecodingConfig(bits=4)
+        baseline = ContinuousPacking(a100, base_cfg).decode_time_ms(geom)
+        layout = BitDecoding(
+            ablation_config(base_cfg, True, False, False), a100
+        ).decode_time_ms(geom)
+        warps = BitDecoding(
+            ablation_config(base_cfg, True, True, False), a100
+        ).decode_time_ms(geom)
+        full = BitDecoding(
+            ablation_config(base_cfg, True, True, True), a100
+        ).decode_time_ms(geom)
+        assert baseline > layout > warps > full
+
+    def test_baseline_runs_two_kernels(self, a100, geom):
+        results = ContinuousPacking(a100, BitDecodingConfig(bits=4)).decode_results(geom)
+        assert [r.name for r in results] == ["continuous_repack", "packing_kernel"]

@@ -1,0 +1,84 @@
+"""KIVI baseline: non-fused costs and GQA degradation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flash_decoding import FlashDecodingV2
+from repro.baselines.kivi import Kivi
+from repro.core.config import AttentionGeometry
+from repro.core.softmax import reference_attention
+
+
+class TestNumerics:
+    def test_full_softmax_matches_reference(self, rng, a100):
+        kivi = Kivi(a100, 4)
+        q = rng.standard_normal((2, 16)).astype(np.float32)
+        k = rng.standard_normal((100, 16)).astype(np.float32)
+        v = rng.standard_normal((100, 16)).astype(np.float32)
+        np.testing.assert_allclose(
+            kivi.run_numeric(q, k, v), reference_attention(q, k, v),
+            rtol=1e-4, atol=1e-5,
+        )
+
+
+class TestConstruction:
+    def test_supported_bits(self, a100):
+        assert Kivi(a100, 4).name == "KIVI-4"
+        assert Kivi(a100, 2).name == "KIVI-2"
+        with pytest.raises(ValueError):
+            Kivi(a100, 8)
+
+
+class TestCosts:
+    def test_five_launches_per_step(self, a100):
+        launch = Kivi(a100, 4).build_launch(AttentionGeometry(1, 32, 8, 4096, 128))
+        assert launch.launches == 5
+
+    def test_intermediate_traffic_scales_with_hq_and_seq(self, a100):
+        kivi = Kivi(a100, 4)
+        small = kivi.build_launch(AttentionGeometry(1, 32, 8, 4096, 128))
+        large = kivi.build_launch(AttentionGeometry(1, 32, 8, 16384, 128))
+        assert large.trace.gmem_write_bytes > 3 * small.trace.gmem_write_bytes
+
+    def test_gqa_rereads_inflate_traffic(self, a100):
+        kivi = Kivi(a100, 4)
+        mha = kivi.build_launch(AttentionGeometry(1, 32, 32, 65536, 128))
+        gqa = kivi.build_launch(AttentionGeometry(1, 32, 8, 65536, 128))
+        # GQA has 4x less semantic KV data but re-reads it per query head:
+        # its DRAM traffic must exceed a quarter of MHA's.
+        assert gqa.trace.gmem_read_bytes > 0.4 * mha.trace.gmem_read_bytes
+
+    def test_gqa_slower_relative_to_baseline(self, rtx4090):
+        """Fig. 10: KIVI degrades severely under GQA."""
+        mha = AttentionGeometry(1, 32, 32, 65536, 128)
+        gqa = AttentionGeometry(1, 32, 8, 65536, 128)
+        fd = FlashDecodingV2(rtx4090)
+        kivi = Kivi(rtx4090, 4)
+        speedup_mha = fd.decode_time_ms(mha) / kivi.decode_time_ms(mha)
+        speedup_gqa = fd.decode_time_ms(gqa) / kivi.decode_time_ms(gqa)
+        assert speedup_gqa < 0.6 * speedup_mha
+
+    def test_two_bit_faster_than_four_bit(self, rtx4090):
+        geom = AttentionGeometry(1, 32, 32, 65536, 128)
+        assert Kivi(rtx4090, 2).decode_time_ms(geom) < Kivi(rtx4090, 4).decode_time_ms(geom)
+
+    def test_prefill_workspace_quadratic(self, a100):
+        kivi = Kivi(a100, 4)
+        w64 = kivi.prefill_workspace_bytes(AttentionGeometry(1, 32, 8, 65536, 128))
+        w128 = kivi.prefill_workspace_bytes(AttentionGeometry(1, 32, 8, 131072, 128))
+        assert w128 == 4 * w64
+
+    def test_128k_workspace_ooms_an_a100(self, a100):
+        kivi = Kivi(a100, 4)
+        workspace = kivi.prefill_workspace_bytes(AttentionGeometry(1, 32, 8, 131072, 128))
+        model_weights = 16e9
+        usable = a100.memory_gb * 1024 ** 3 * 0.9  # allocator/activation slack
+        assert workspace + model_weights > usable
+        # ... while 64K fits comfortably (the paper's Fig. 12a pattern).
+        w64 = kivi.prefill_workspace_bytes(AttentionGeometry(1, 32, 8, 65536, 128))
+        assert w64 + model_weights < usable
+
+    def test_cache_bytes_includes_group32_metadata(self, a100):
+        geom = AttentionGeometry(1, 32, 8, 4096, 128)
+        total = Kivi(a100, 4).cache_bytes(geom)
+        assert total > geom.kv_elements * 4 / 8

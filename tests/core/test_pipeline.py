@@ -1,0 +1,68 @@
+"""Software-pipeline overlap algebra."""
+
+import pytest
+
+from repro.core.pipeline import PipelineStage, packing_kernel_stages, schedule
+
+
+class TestSchedule:
+    def test_pipelined_bounded_by_busiest_resource(self):
+        stages = packing_kernel_stages(load_time=4, dequant_time=1, mma_time=2, softmax_time=1)
+        timing = schedule(stages, n_tiles=100)
+        assert timing.per_tile_time == 4  # memory is the bottleneck
+        assert timing.bottleneck == "memory"
+
+    def test_shared_resource_stages_add(self):
+        # dequant + softmax share the CUDA cores: 3 + 2 = 5 > memory 4.
+        stages = packing_kernel_stages(4, 3, 1, 2)
+        timing = schedule(stages, n_tiles=10)
+        assert timing.per_tile_time == 5
+        assert timing.bottleneck == "cuda_cores"
+
+    def test_serial_is_never_faster(self):
+        stages = packing_kernel_stages(4, 2, 3, 1)
+        piped = schedule(stages, 50)
+        serial = schedule(stages, 50, pipelined=False)
+        assert serial.total_time >= piped.total_time
+
+    def test_serial_equals_sum_per_tile(self):
+        stages = packing_kernel_stages(4, 2, 3, 1)
+        serial = schedule(stages, 10, pipelined=False)
+        assert serial.per_tile_time == 10
+
+    def test_parallel_streams_hide_serialization(self):
+        """The Wn mechanism: more independent streams -> closer to the
+        resource bound."""
+        stages = packing_kernel_stages(4, 2, 3, 1)
+        one = schedule(stages, 10, pipelined=False, parallel_streams=1)
+        four = schedule(stages, 10, pipelined=False, parallel_streams=4)
+        assert four.per_tile_time < one.per_tile_time
+        # But never beats the busiest resource.
+        assert four.per_tile_time >= 4
+
+    def test_fill_time_only_when_pipelined(self):
+        stages = packing_kernel_stages(4, 2, 3, 1)
+        assert schedule(stages, 10).fill_time > 0
+        assert schedule(stages, 10, pipelined=False).fill_time == 0
+
+    def test_total_time_zero_tiles(self):
+        stages = packing_kernel_stages(1, 1, 1, 1)
+        assert schedule(stages, 0).total_time == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule([], 10)
+        with pytest.raises(ValueError):
+            schedule(packing_kernel_stages(1, 1, 1, 1), -1)
+        with pytest.raises(ValueError):
+            schedule(packing_kernel_stages(1, 1, 1, 1), 1, parallel_streams=0)
+        with pytest.raises(ValueError):
+            schedule([PipelineStage("x", -1.0, "memory")], 1)
+
+    def test_canonical_stage_resources(self):
+        stages = packing_kernel_stages(1, 2, 3, 4)
+        by_name = {s.name: s for s in stages}
+        assert by_name["load"].resource == "memory"
+        assert by_name["dequant"].resource == "cuda_cores"
+        assert by_name["mma"].resource == "tensor_cores"
+        assert by_name["softmax"].resource == "cuda_cores"

@@ -1,0 +1,118 @@
+"""Query transformation: semantics-preserving GQA/MQA grouping (Sec. V-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query_transform import gemm_m_dimension, group_queries, ungroup_output
+
+
+class TestGrouping:
+    def test_shapes_gqa(self, rng):
+        q = rng.standard_normal((2, 1, 32, 16)).astype(np.float32)
+        grouped = group_queries(q, hkv=8)
+        assert grouped.shape == (2, 8, 4, 16)
+
+    def test_shapes_mha(self, rng):
+        q = rng.standard_normal((2, 1, 8, 16)).astype(np.float32)
+        grouped = group_queries(q, hkv=8)
+        assert grouped.shape == (2, 8, 1, 16)
+
+    def test_shapes_mqa(self, rng):
+        q = rng.standard_normal((2, 1, 8, 16)).astype(np.float32)
+        grouped = group_queries(q, hkv=1)
+        assert grouped.shape == (2, 1, 8, 16)
+
+    def test_head_to_kv_mapping(self, rng):
+        """Query head h must land in the group of KV head h // gq."""
+        q = rng.standard_normal((1, 1, 8, 4)).astype(np.float32)
+        grouped = group_queries(q, hkv=2)  # gq = 4
+        for h in range(8):
+            kv_head, slot = divmod(h, 4)
+            np.testing.assert_array_equal(grouped[0, kv_head, slot], q[0, 0, h])
+
+    def test_round_trip(self, rng):
+        q = rng.standard_normal((3, 2, 32, 8)).astype(np.float32)
+        grouped = group_queries(q, hkv=8)
+        restored = ungroup_output(grouped, hq=32, q_len=2)
+        np.testing.assert_array_equal(restored, q)
+
+    def test_rank_checked(self, rng):
+        with pytest.raises(ValueError):
+            group_queries(rng.standard_normal((2, 32, 8)), hkv=8)
+
+    def test_divisibility_checked(self, rng):
+        with pytest.raises(ValueError):
+            group_queries(rng.standard_normal((1, 1, 30, 8)), hkv=8)
+
+    def test_ungroup_m_checked(self, rng):
+        grouped = rng.standard_normal((1, 8, 4, 16))
+        with pytest.raises(ValueError, match="grouped M"):
+            ungroup_output(grouped, hq=32, q_len=2)
+
+
+class TestSemanticEquivalence:
+    def test_grouped_gemm_equals_per_head_gemv(self, rng):
+        """The whole point: one (gq x L) GEMM == gq separate GEMVs."""
+        hq, hkv, d, L = 8, 2, 16, 64
+        q = rng.standard_normal((1, 1, hq, d)).astype(np.float32)
+        k = rng.standard_normal((hkv, L, d)).astype(np.float32)
+        grouped = group_queries(q, hkv)
+        gq = hq // hkv
+        for kv_h in range(hkv):
+            gemm = grouped[0, kv_h] @ k[kv_h].T  # (gq, L)
+            for slot in range(gq):
+                gemv = q[0, 0, kv_h * gq + slot] @ k[kv_h].T
+                # GEMM vs GEMV BLAS paths reorder the FP32 reduction.
+                np.testing.assert_allclose(gemm[slot], gemv, rtol=1e-4, atol=1e-5)
+
+
+class TestMDimension:
+    def test_gqa_fills_tile(self):
+        m, padded = gemm_m_dimension(hq=128, hkv=8)  # gq = 16
+        assert (m, padded) == (16, 16)
+
+    def test_mha_pads_heavily(self):
+        m, padded = gemm_m_dimension(hq=32, hkv=32)
+        assert (m, padded) == (1, 16)
+
+    def test_q_len_multiplies(self):
+        m, padded = gemm_m_dimension(hq=32, hkv=8, q_len=4)
+        assert (m, padded) == (16, 16)
+
+    def test_over_tile_rounds_up(self):
+        m, padded = gemm_m_dimension(hq=64, hkv=2)
+        assert (m, padded) == (32, 32)
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            gemm_m_dimension(hq=30, hkv=8)
+
+
+class TestProperties:
+    @given(
+        batch=st.integers(1, 3),
+        q_len=st.integers(1, 3),
+        hkv=st.sampled_from([1, 2, 4, 8]),
+        gq=st.sampled_from([1, 2, 4, 8]),
+        seed=st.integers(0, 2 ** 31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, batch, q_len, hkv, gq, seed):
+        rng = np.random.default_rng(seed)
+        hq = hkv * gq
+        q = rng.standard_normal((batch, q_len, hq, 4)).astype(np.float32)
+        restored = ungroup_output(group_queries(q, hkv), hq, q_len)
+        np.testing.assert_array_equal(restored, q)
+
+    @given(hkv=st.sampled_from([1, 2, 4]), gq=st.sampled_from([1, 2, 4]),
+           seed=st.integers(0, 2 ** 31))
+    @settings(max_examples=30, deadline=None)
+    def test_grouping_preserves_multiset_of_rows(self, hkv, gq, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.standard_normal((1, 1, hkv * gq, 4)).astype(np.float32)
+        grouped = group_queries(q, hkv)
+        orig = {tuple(row) for row in q.reshape(-1, 4)}
+        after = {tuple(row) for row in grouped.reshape(-1, 4)}
+        assert orig == after

@@ -1,0 +1,183 @@
+"""Online softmax, split-KV merges, and Algorithm 1's cooperative variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.softmax import (
+    OnlineSoftmaxState,
+    reference_attention,
+    split_kv_attention,
+    tile_softmax_split,
+)
+
+
+def _rand_attention(rng, m=4, n=256, d=32):
+    q = rng.standard_normal((m, d)).astype(np.float32)
+    k = rng.standard_normal((n, d)).astype(np.float32)
+    v = rng.standard_normal((n, d)).astype(np.float32)
+    return q, k, v
+
+
+class TestOnlineSoftmax:
+    def test_single_tile_matches_reference(self, rng):
+        q, k, v = _rand_attention(rng)
+        state = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        s = (q @ k.T) / np.sqrt(q.shape[1])
+        state.update(s, v)
+        np.testing.assert_allclose(state.finalize(), reference_attention(q, k, v), rtol=1e-5, atol=1e-6)
+
+    def test_tiled_updates_match_reference(self, rng):
+        q, k, v = _rand_attention(rng, n=300)
+        scale = 1 / np.sqrt(q.shape[1])
+        state = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        for t0 in range(0, 300, 64):
+            t1 = min(t0 + 64, 300)
+            state.update((q @ k[t0:t1].T) * scale, v[t0:t1])
+        np.testing.assert_allclose(state.finalize(), reference_attention(q, k, v), rtol=1e-5, atol=1e-6)
+
+    def test_tile_order_does_not_matter(self, rng):
+        q, k, v = _rand_attention(rng, n=128)
+        scale = 1 / np.sqrt(q.shape[1])
+        a = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        b = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        a.update((q @ k[:64].T) * scale, v[:64])
+        a.update((q @ k[64:].T) * scale, v[64:])
+        b.update((q @ k[64:].T) * scale, v[64:])
+        b.update((q @ k[:64].T) * scale, v[:64])
+        np.testing.assert_allclose(a.finalize(), b.finalize(), rtol=1e-5, atol=1e-6)
+
+    def test_merge_equals_sequential(self, rng):
+        """The split-KV reduction: merging partials == one long pass."""
+        q, k, v = _rand_attention(rng, n=256)
+        scale = 1 / np.sqrt(q.shape[1])
+        seq = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        seq.update((q @ k.T) * scale, v)
+        p1 = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        p1.update((q @ k[:96].T) * scale, v[:96])
+        p2 = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        p2.update((q @ k[96:].T) * scale, v[96:])
+        p1.merge(p2)
+        np.testing.assert_allclose(p1.finalize(), seq.finalize(), rtol=1e-5, atol=1e-6)
+
+    def test_merge_with_empty_partial(self, rng):
+        q, k, v = _rand_attention(rng)
+        scale = 1 / np.sqrt(q.shape[1])
+        full = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        full.update((q @ k.T) * scale, v)
+        empty = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        full.merge(empty)
+        np.testing.assert_allclose(full.finalize(), reference_attention(q, k, v), rtol=1e-5, atol=1e-6)
+
+    def test_finalize_on_empty_state_raises(self):
+        with pytest.raises(ValueError):
+            OnlineSoftmaxState.fresh(2, 4).finalize()
+
+    def test_large_logits_stable(self, rng):
+        """Online rescaling must survive logits that overflow naive exp."""
+        q, k, v = _rand_attention(rng, n=64)
+        state = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        s = (q @ k.T) + 300.0
+        state.update(s[:, :32], v[:32])
+        state.update(s[:, 32:] + 300.0, v[32:])  # second tile even hotter
+        out = state.finalize()
+        assert np.all(np.isfinite(out))
+
+
+class TestCooperativeSoftmax:
+    @pytest.mark.parametrize("wn", [1, 2, 4, 8])
+    def test_cooperative_matches_single_warp(self, rng, wn):
+        q, k, v = _rand_attention(rng, n=128)
+        scale = 1 / np.sqrt(q.shape[1])
+        s = (q @ k.T) * scale
+        coop = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        tile_softmax_split(coop, s, v, wn=wn, cooperative=True)
+        ref = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        ref.update(s, v)
+        np.testing.assert_allclose(coop.finalize(), ref.finalize(), rtol=1e-5, atol=1e-6)
+
+    def test_non_cooperative_is_wrong_for_wide_wn(self, rng):
+        """Table III's 'Valid = x' row, reproduced numerically."""
+        q, k, v = _rand_attention(rng, n=128)
+        s = (q @ k.T)  # unscaled: larger spread -> distinct warp maxima
+        broken = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        tile_softmax_split(broken, s, v, wn=4, cooperative=False)
+        ref = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        ref.update(s, v)
+        assert not np.allclose(broken.finalize(), ref.finalize(), atol=1e-3)
+
+    def test_non_cooperative_with_single_warp_is_fine(self, rng):
+        q, k, v = _rand_attention(rng, n=128)
+        s = (q @ k.T)
+        solo = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        tile_softmax_split(solo, s, v, wn=1, cooperative=False)
+        ref = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        ref.update(s, v)
+        np.testing.assert_allclose(solo.finalize(), ref.finalize(), rtol=1e-5, atol=1e-6)
+
+    def test_uneven_split_rejected(self, rng):
+        q, k, v = _rand_attention(rng, n=100)
+        state = OnlineSoftmaxState.fresh(q.shape[0], v.shape[1])
+        with pytest.raises(ValueError, match="evenly"):
+            tile_softmax_split(state, q @ k.T, v, wn=3)
+
+
+class TestSplitKv:
+    @pytest.mark.parametrize("n_splits", [1, 2, 7, 32])
+    def test_any_split_count_matches_reference(self, rng, n_splits):
+        q, k, v = _rand_attention(rng, n=500)
+        out = split_kv_attention(q, k, v, n_splits)
+        np.testing.assert_allclose(out, reference_attention(q, k, v), rtol=1e-5, atol=1e-6)
+
+    def test_more_splits_than_tokens_clamped(self, rng):
+        q, k, v = _rand_attention(rng, n=8)
+        out = split_kv_attention(q, k, v, n_splits=64)
+        np.testing.assert_allclose(out, reference_attention(q, k, v), rtol=1e-5, atol=1e-6)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(2, 200),
+        wn=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 2 ** 31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cooperative_equivalence_property(self, n, wn, seed):
+        rng = np.random.default_rng(seed)
+        n = (n // wn) * wn
+        if n == 0:
+            return
+        q = rng.standard_normal((2, 16)).astype(np.float32)
+        k = rng.standard_normal((n, 16)).astype(np.float32)
+        v = rng.standard_normal((n, 16)).astype(np.float32)
+        s = q @ k.T
+        coop = OnlineSoftmaxState.fresh(2, 16)
+        tile_softmax_split(coop, s, v, wn=wn, cooperative=True)
+        ref = OnlineSoftmaxState.fresh(2, 16)
+        ref.update(s, v)
+        np.testing.assert_allclose(coop.finalize(), ref.finalize(), rtol=1e-4, atol=1e-5)
+
+    @given(n_splits=st.integers(1, 16), seed=st.integers(0, 2 ** 31))
+    @settings(max_examples=40, deadline=None)
+    def test_split_invariance_property(self, n_splits, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.standard_normal((1, 8)).astype(np.float32)
+        k = rng.standard_normal((64, 8)).astype(np.float32)
+        v = rng.standard_normal((64, 8)).astype(np.float32)
+        out = split_kv_attention(q, k, v, n_splits)
+        np.testing.assert_allclose(
+            out, reference_attention(q, k, v), rtol=1e-4, atol=1e-5
+        )
+
+    @given(seed=st.integers(0, 2 ** 31))
+    @settings(max_examples=30, deadline=None)
+    def test_output_in_value_convex_hull(self, seed):
+        """Softmax attention output is a convex combination of V rows."""
+        rng = np.random.default_rng(seed)
+        q = rng.standard_normal((1, 8)).astype(np.float32)
+        k = rng.standard_normal((32, 8)).astype(np.float32)
+        v = rng.standard_normal((32, 8)).astype(np.float32)
+        out = split_kv_attention(q, k, v, 4)
+        assert np.all(out <= v.max(axis=0) + 1e-5)
+        assert np.all(out >= v.min(axis=0) - 1e-5)

@@ -1,0 +1,93 @@
+"""Speculative (multi-token) decode: causal tail over the quantized cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import BitDecoding
+from repro.core.config import BitDecodingConfig
+from repro.core.softmax import reference_attention
+
+
+def _setup(rng, bits=4, seq=200, hkv=2, hq=8, d=32, n=4):
+    engine = BitDecoding(BitDecodingConfig(bits=bits), "a100")
+    k = rng.standard_normal((1, hkv, seq, d)).astype(np.float16)
+    v = rng.standard_normal((1, hkv, seq, d)).astype(np.float16)
+    cache = engine.prefill(k, v)
+    q = rng.standard_normal((1, n, hq, d)).astype(np.float16)
+    k_draft = rng.standard_normal((1, hkv, n, d)).astype(np.float16)
+    v_draft = rng.standard_normal((1, hkv, n, d)).astype(np.float16)
+    return engine, cache, k, v, q, k_draft, v_draft
+
+
+def _sequential_reference(k, v, q, k_draft, v_draft):
+    """Position-by-position dense attention: token i sees cache + draft[:i+1]."""
+    _, hkv, seq, d = k.shape
+    _, n, hq, _ = q.shape
+    gq = hq // hkv
+    out = np.empty((1, n, hq, d), dtype=np.float32)
+    for i in range(n):
+        for h in range(hq):
+            kv_h = h // gq
+            k_ctx = np.concatenate(
+                [k[0, kv_h].astype(np.float32), k_draft[0, kv_h, : i + 1].astype(np.float32)]
+            )
+            v_ctx = np.concatenate(
+                [v[0, kv_h].astype(np.float32), v_draft[0, kv_h, : i + 1].astype(np.float32)]
+            )
+            out[0, i, h] = reference_attention(
+                q[0, i, h : h + 1].astype(np.float32), k_ctx, v_ctx
+            )
+    return out
+
+
+class TestSpeculativeDecode:
+    def test_matches_sequential_reference(self, rng):
+        engine, cache, k, v, q, k_draft, v_draft = _setup(rng)
+        out = engine.decode_speculative(q, k_draft, v_draft, cache)
+        ref = _sequential_reference(k, v, q, k_draft, v_draft)
+        assert np.max(np.abs(out - ref)) < 0.06
+
+    def test_single_token_equals_plain_decode_after_append(self, rng):
+        engine, cache, k, v, q, k_draft, v_draft = _setup(rng, n=1)
+        spec = engine.decode_speculative(q, k_draft, v_draft, cache)
+        cache.append_token(k_draft[:, :, 0], v_draft[:, :, 0])
+        plain = engine.decode(q, cache)
+        np.testing.assert_allclose(spec, plain, rtol=1e-3, atol=1e-3)
+
+    def test_causality_first_token_ignores_later_drafts(self, rng):
+        """Perturbing a later draft token must not change earlier outputs."""
+        engine, cache, k, v, q, k_draft, v_draft = _setup(rng, n=4)
+        out_a = engine.decode_speculative(q, k_draft, v_draft, cache)
+        k_mod = k_draft.copy()
+        v_mod = v_draft.copy()
+        k_mod[0, :, 3] += 5.0
+        v_mod[0, :, 3] -= 5.0
+        out_b = engine.decode_speculative(q, k_mod, v_mod, cache)
+        np.testing.assert_allclose(out_a[:, :3], out_b[:, :3], rtol=1e-4, atol=1e-5)
+        assert not np.allclose(out_a[:, 3], out_b[:, 3], atol=1e-3)
+
+    def test_commit_appends_drafts(self, rng):
+        engine, cache, k, v, q, k_draft, v_draft = _setup(rng, n=3)
+        before = cache.seq_len
+        engine.decode_speculative(q, k_draft, v_draft, cache, commit=True)
+        assert cache.seq_len == before + 3
+
+    def test_no_commit_leaves_cache_untouched(self, rng):
+        engine, cache, k, v, q, k_draft, v_draft = _setup(rng, n=3)
+        before = cache.seq_len
+        engine.decode_speculative(q, k_draft, v_draft, cache)
+        assert cache.seq_len == before
+
+    def test_shape_validation(self, rng):
+        engine, cache, k, v, q, k_draft, v_draft = _setup(rng, n=2)
+        with pytest.raises(ValueError, match="k_draft"):
+            engine.decode_speculative(q, k_draft[:, :, :1], v_draft, cache)
+        with pytest.raises(ValueError):
+            engine.decode_speculative(q[0], k_draft, v_draft, cache)
+
+    def test_works_across_bit_widths(self, rng):
+        for bits, tol in ((8, 0.03), (4, 0.08), (2, 0.4)):
+            engine, cache, k, v, q, k_draft, v_draft = _setup(rng, bits=bits, seq=300)
+            out = engine.decode_speculative(q, k_draft, v_draft, cache)
+            ref = _sequential_reference(k, v, q, k_draft, v_draft)
+            assert np.max(np.abs(out - ref)) < tol, bits

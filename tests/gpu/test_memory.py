@@ -1,0 +1,104 @@
+"""Memory-hierarchy model invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.memory import (
+    MemoryFootprint,
+    achieved_dram_bw,
+    bandwidth_utilization,
+    bank_conflict_factor,
+    dram_time,
+    l2_time,
+    smem_time,
+    swizzled_column,
+)
+
+
+class TestBandwidthRamp:
+    def test_zero_warps_zero_bandwidth(self, a100):
+        assert bandwidth_utilization(a100, 0) == 0.0
+
+    def test_saturation_reaches_peak(self, a100):
+        assert bandwidth_utilization(a100, a100.bw_saturation_warps) == 1.0
+        assert achieved_dram_bw(a100, 10 ** 6) == a100.dram_bw_bytes_per_s
+
+    def test_ramp_is_monotonic(self, a100):
+        utils = [bandwidth_utilization(a100, w) for w in (8, 32, 128, 512, 2048)]
+        assert utils == sorted(utils)
+
+    def test_small_grids_get_a_floor(self, a100):
+        assert bandwidth_utilization(a100, 1) >= 0.02
+
+    def test_negative_warps_rejected(self, a100):
+        with pytest.raises(ValueError):
+            bandwidth_utilization(a100, -1)
+
+    @given(st.integers(1, 10000))
+    @settings(max_examples=30, deadline=None)
+    def test_utilization_bounded(self, warps):
+        from repro.gpu.arch import get_arch
+
+        u = bandwidth_utilization(get_arch("a100"), warps)
+        assert 0.0 < u <= 1.0
+
+
+class TestTransferTimes:
+    def test_dram_time_linear_in_bytes(self, a100):
+        t1 = dram_time(a100, 1e9, 4096)
+        t2 = dram_time(a100, 2e9, 4096)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_dram_time_zero_bytes_is_zero(self, a100):
+        assert dram_time(a100, 0, 4096) == 0.0
+
+    def test_dram_time_needs_warps(self, a100):
+        with pytest.raises(ValueError):
+            dram_time(a100, 1e9, 0)
+
+    def test_l2_faster_than_dram(self, a100):
+        assert l2_time(a100, 1e9, 1.0) < dram_time(a100, 1e9, 10 ** 6)
+
+    def test_smem_time_scales_with_active_fraction(self, a100):
+        assert smem_time(a100, 1e9, 0.5) == pytest.approx(2 * smem_time(a100, 1e9, 1.0))
+
+
+class TestBankConflicts:
+    def test_swizzle_eliminates_conflicts(self):
+        assert bank_conflict_factor(8, 128, swizzled=True) == 1.0
+
+    def test_power_of_two_stride_conflicts_without_swizzle(self):
+        # 128-byte rows: every row starts at the same bank -> full replay.
+        assert bank_conflict_factor(32, 128, swizzled=False) == 32.0
+
+    def test_odd_stride_has_fewer_conflicts(self):
+        conflicted = bank_conflict_factor(32, 128, swizzled=False)
+        padded = bank_conflict_factor(32, 132, swizzled=False)
+        assert padded < conflicted
+
+    def test_swizzled_column_is_xor(self):
+        assert swizzled_column(3, 5) == 3 ^ 5
+
+    def test_swizzle_is_row_wise_permutation(self):
+        # Within each row, the swizzle must be a bijection over columns.
+        for row in range(8):
+            cols = {swizzled_column(row, c) for c in range(8)}
+            assert cols == set(range(8))
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            bank_conflict_factor(0, 128)
+        with pytest.raises(ValueError):
+            swizzled_column(-1, 0)
+
+
+class TestMemoryFootprint:
+    def test_total_sums_components(self):
+        fp = MemoryFootprint(weights_bytes=10e9, kv_cache_bytes=5e9, workspace_bytes=1e9)
+        assert fp.total_bytes == 16e9
+
+    def test_fits_respects_capacity(self):
+        fp = MemoryFootprint(weights_bytes=70 * 1024 ** 3, kv_cache_bytes=20 * 1024 ** 3)
+        assert not fp.fits(80)
+        assert fp.fits(96)

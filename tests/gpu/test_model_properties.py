@@ -1,0 +1,108 @@
+"""Property tests on the performance model itself.
+
+A cost model earns trust through invariants: more work never takes less
+time, faster hardware never loses, and overlap never hurts.  Hypothesis
+sweeps the model over randomized workloads to pin these.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.arch import get_arch
+from repro.gpu.kernel import KernelLaunch, simulate_kernel
+from repro.gpu.trace import OpTrace
+
+
+def _launch(read_gb, tc_gflops, alu_gops, grid, hide):
+    t = OpTrace()
+    t.gmem_read(read_gb * 1e9)
+    t.tensor_core(tc_gflops * 1e9)
+    t.alu_ops = alu_gops * 1e9
+    return KernelLaunch(
+        name="k", trace=t, grid_blocks=grid, warps_per_block=4,
+        smem_per_block_bytes=32 * 1024, hide_factor=hide,
+    )
+
+
+workloads = st.tuples(
+    st.floats(0.01, 10),    # GB read
+    st.floats(0.1, 1000),   # TC GFLOPs
+    st.floats(0.01, 10),    # ALU Gops
+    st.integers(1, 8192),   # grid
+    st.floats(0, 1),        # hide
+)
+
+
+class TestModelInvariants:
+    @given(workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_more_bytes_never_faster(self, w):
+        read, tc, alu, grid, hide = w
+        arch = get_arch("a100")
+        base = simulate_kernel(arch, _launch(read, tc, alu, grid, hide)).time_s
+        more = simulate_kernel(arch, _launch(read * 2, tc, alu, grid, hide)).time_s
+        assert more >= base * 0.999
+
+    @given(workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_never_hurts(self, w):
+        read, tc, alu, grid, _ = w
+        arch = get_arch("a100")
+        serial = simulate_kernel(arch, _launch(read, tc, alu, grid, 0.0)).time_s
+        overlapped = simulate_kernel(arch, _launch(read, tc, alu, grid, 1.0)).time_s
+        assert overlapped <= serial * 1.001
+
+    @given(workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_time_strictly_positive(self, w):
+        arch = get_arch("rtx4090")
+        launch = _launch(*w)
+        if launch.smem_per_block_bytes > arch.smem_per_sm_bytes:
+            return
+        assert simulate_kernel(arch, launch).time_s > 0
+
+    @given(workloads)
+    @settings(max_examples=40, deadline=None)
+    def test_wider_machine_never_slower_when_saturated(self, w):
+        """H100 strictly dominates A100 on bandwidth and compute; a
+        saturated memory/TC workload must not run slower there."""
+        read, tc, alu, grid, hide = w
+        if grid < 2000:
+            return  # only compare when both machines are saturated
+        a100 = get_arch("a100")
+        h100 = get_arch("h100")
+        t_a = simulate_kernel(a100, _launch(read, tc, alu, grid, hide)).exec_time_s
+        launch = _launch(read, tc, alu, grid, hide)
+        launch.instruction_path = "sm90"  # native path: no legacy penalty
+        t_h = simulate_kernel(h100, launch).exec_time_s
+        assert t_h <= t_a * 1.01
+
+    @given(st.floats(0.05, 5), st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_ramp_monotone_in_grid(self, read_gb, scale):
+        """More blocks (up to saturation) never slow a memory workload."""
+        arch = get_arch("a100")
+        small = simulate_kernel(arch, _launch(read_gb, 0, 0, 8, 1.0)).exec_time_s
+        large = simulate_kernel(arch, _launch(read_gb, 0, 0, 8 * scale, 1.0)).exec_time_s
+        assert large <= small * 1.001
+
+
+class TestArchPerturbations:
+    def test_bandwidth_increase_speeds_memory_kernel(self):
+        arch = get_arch("a100")
+        boosted = dataclasses.replace(arch, dram_bw_gbs=arch.dram_bw_gbs * 2)
+        launch = _launch(5, 1, 0.1, 4096, 1.0)
+        t_base = simulate_kernel(arch, launch).exec_time_s
+        t_boost = simulate_kernel(boosted, launch).exec_time_s
+        assert t_boost == pytest.approx(t_base / 2, rel=0.05)
+
+    def test_tc_increase_speeds_compute_kernel(self):
+        arch = get_arch("a100")
+        boosted = dataclasses.replace(arch, tc_fp16_tflops=arch.tc_fp16_tflops * 2)
+        launch = _launch(0.01, 5000, 0.01, 4096, 1.0)
+        t_base = simulate_kernel(arch, launch).exec_time_s
+        t_boost = simulate_kernel(boosted, launch).exec_time_s
+        assert t_boost < t_base * 0.7

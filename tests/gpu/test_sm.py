@@ -1,0 +1,58 @@
+"""Occupancy model invariants."""
+
+import pytest
+
+from repro.gpu.sm import MAX_BLOCKS_PER_SM, occupancy
+
+
+class TestLimits:
+    def test_warp_limit_binds(self, a100):
+        occ = occupancy(a100, grid_blocks=10000, warps_per_block=16, regs_per_thread=16)
+        assert occ.blocks_per_sm == a100.max_warps_per_sm // 16
+
+    def test_smem_limit_binds(self, a100):
+        occ = occupancy(a100, 10000, 4, smem_per_block_bytes=100 * 1024)
+        assert occ.blocks_per_sm == a100.smem_per_sm_bytes // (100 * 1024)
+
+    def test_register_limit_binds(self, a100):
+        # 255 regs/thread x 256 threads = 65280 regs -> 1 block.
+        occ = occupancy(a100, 10000, 8, regs_per_thread=255)
+        assert occ.blocks_per_sm == 1
+
+    def test_block_too_large_raises(self, a100):
+        with pytest.raises(ValueError, match="shared memory"):
+            occupancy(a100, 1, 4, smem_per_block_bytes=200 * 1024)
+        with pytest.raises(ValueError, match="warps"):
+            occupancy(a100, 1, 128)
+
+    def test_zero_grid_rejected(self, a100):
+        with pytest.raises(ValueError):
+            occupancy(a100, 0, 4)
+
+
+class TestDerived:
+    def test_small_grid_activates_one_sm_per_block(self, a100):
+        occ = occupancy(a100, 8, 4)
+        assert occ.active_sms == 8
+        assert occ.inflight_warps == 32
+        assert occ.waves == 1
+
+    def test_large_grid_fills_machine(self, a100):
+        occ = occupancy(a100, 100000, 4, smem_per_block_bytes=64 * 1024)
+        assert occ.active_sms == a100.sm_count
+        assert occ.waves > 1
+        assert occ.inflight_warps == occ.blocks_per_sm * a100.sm_count * 4
+
+    def test_waves_ceiling(self, a100):
+        occ = occupancy(a100, a100.sm_count + 1, 4, smem_per_block_bytes=164 * 1024)
+        # one block per SM -> second wave for the +1 block
+        assert occ.blocks_per_sm == 1
+        assert occ.waves == 2
+
+    def test_active_fraction_in_unit_interval(self, any_arch):
+        occ = occupancy(any_arch, 3, 4)
+        assert 0 < occ.active_sm_fraction <= 1.0
+
+    def test_blocks_per_sm_capped(self, a100):
+        occ = occupancy(a100, 10, 1, smem_per_block_bytes=0)
+        assert occ.blocks_per_sm <= MAX_BLOCKS_PER_SM

@@ -1,0 +1,69 @@
+"""Warp-layout latency-hiding model (the Table III mechanism)."""
+
+import pytest
+
+from repro.gpu.warp import (
+    WarpLayout,
+    combined_hide_factor,
+    dequant_hide_factor,
+    memory_hide_factor,
+)
+
+
+class TestWarpLayout:
+    def test_warps_per_block(self):
+        assert WarpLayout(wm=1, wn=4).warps_per_block == 4
+        assert WarpLayout(wm=2, wn=2).warps_per_block == 4
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            WarpLayout(wm=0, wn=4)
+
+
+class TestDequantHiding:
+    def test_single_warp_cannot_hide(self):
+        # The original FlashAttention layout: dequant fully serializes.
+        assert dequant_hide_factor(WarpLayout(wm=4, wn=1)) == 0.0
+
+    def test_wider_wn_hides_more(self):
+        h = [dequant_hide_factor(WarpLayout(wm=1, wn=w)) for w in (1, 2, 4, 8)]
+        assert h == sorted(h)
+        assert h[0] == 0.0
+        assert h[2] == pytest.approx(0.75)
+
+    def test_pipeline_off_halves_overlap(self):
+        on = dequant_hide_factor(WarpLayout(wm=1, wn=4), pipelined=True)
+        off = dequant_hide_factor(WarpLayout(wm=1, wn=4), pipelined=False)
+        assert off == pytest.approx(on / 2)
+
+
+class TestMemoryHiding:
+    def test_no_warps_no_hiding(self):
+        assert memory_hide_factor(0) == 0.0
+
+    def test_saturates_at_eight_warps(self):
+        assert memory_hide_factor(8) == 1.0
+        assert memory_hide_factor(100) == 1.0
+
+    def test_monotone(self):
+        vals = [memory_hide_factor(w) for w in (1, 2, 4, 8)]
+        assert vals == sorted(vals)
+
+
+class TestCombined:
+    def test_weakest_mechanism_governs(self):
+        layout = WarpLayout(wm=1, wn=8)  # great dequant hiding
+        assert combined_hide_factor(layout, inflight_warps_per_sm=1) == pytest.approx(
+            memory_hide_factor(1)
+        )
+
+    def test_bitdecoding_layout_beats_original(self):
+        original = combined_hide_factor(WarpLayout(wm=4, wn=1), 16)
+        bitdecoding = combined_hide_factor(WarpLayout(wm=1, wn=4), 16)
+        assert bitdecoding > original
+
+    def test_bounded(self):
+        for wn in (1, 2, 4):
+            for warps in (1, 8, 64):
+                h = combined_hide_factor(WarpLayout(1, wn), warps)
+                assert 0.0 <= h <= 1.0

@@ -1,0 +1,60 @@
+"""Model-config registry checks."""
+
+import pytest
+
+from repro.model.config import (
+    LLAMA2_7B,
+    LLAMA31_8B,
+    LLAMA31_70B,
+    MODEL_REGISTRY,
+    ModelConfig,
+    QWEN3_14B,
+    QWEN3_8B,
+    get_model,
+)
+
+
+class TestRegistry:
+    def test_all_five_models(self):
+        assert len(MODEL_REGISTRY) == 5
+
+    def test_lookup(self):
+        assert get_model("LLaMA-3.1-8B") is LLAMA31_8B
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("gpt-5")
+
+
+class TestShapes:
+    def test_only_llama2_is_mha(self):
+        assert LLAMA2_7B.attention_variant == "MHA"
+        for model in (LLAMA31_8B, LLAMA31_70B, QWEN3_8B, QWEN3_14B):
+            assert model.attention_variant == "GQA"
+
+    def test_param_counts_in_expected_range(self):
+        assert 6e9 < LLAMA2_7B.param_count < 8e9
+        assert 7e9 < LLAMA31_8B.param_count < 9.5e9
+        assert 60e9 < LLAMA31_70B.param_count < 80e9
+        assert 12e9 < QWEN3_14B.param_count < 16.5e9
+
+    def test_kv_bytes_per_token(self):
+        # LLaMA-3.1-8B at FP16: 2 * 32 layers * 8 heads * 128 dims * 2B = 128KB.
+        assert LLAMA31_8B.kv_bytes_per_token(16) == 131072
+        assert LLAMA31_8B.kv_bytes_per_token(4) == 32768
+
+    def test_attention_geometry(self):
+        geom = LLAMA31_8B.attention_geometry(batch=4, seq_len=1024)
+        assert geom.hq == 32 and geom.hkv == 8 and geom.gq == 4
+
+    def test_hidden_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", n_layers=2, hq=8, hkv=8, head_dim=128,
+                hidden=4096, intermediate=8192, vocab=1000,
+            )
+
+    def test_weights_bytes(self):
+        assert LLAMA31_8B.weights_bytes() == pytest.approx(
+            LLAMA31_8B.param_count * 2
+        )

@@ -1,0 +1,78 @@
+"""End-to-end decode latency model."""
+
+import pytest
+
+from repro.baselines.flash_decoding import FlashDecodingV2
+from repro.core.attention import BitDecoding
+from repro.core.config import BitDecodingConfig
+from repro.model.config import LLAMA31_8B, LLAMA31_70B
+from repro.model.inference import (
+    decode_step_breakdown,
+    decode_step_ms,
+    decode_throughput_tokens_per_s,
+    generation_latency_s,
+    weight_gemm_ms,
+)
+
+
+class TestWeightGemm:
+    def test_memory_bound_at_small_batch(self, a100):
+        t1 = weight_gemm_ms(LLAMA31_8B, a100, batch=1)
+        t8 = weight_gemm_ms(LLAMA31_8B, a100, batch=8)
+        assert t1 == pytest.approx(t8)  # streaming weights dominates
+
+    def test_compute_bound_at_huge_batch(self, a100):
+        t_small = weight_gemm_ms(LLAMA31_8B, a100, batch=1)
+        t_large = weight_gemm_ms(LLAMA31_8B, a100, batch=2048)
+        assert t_large > 2 * t_small
+
+    def test_tensor_parallel_divides(self, a100):
+        t1 = weight_gemm_ms(LLAMA31_70B, a100, batch=1, n_gpus=1)
+        t8 = weight_gemm_ms(LLAMA31_70B, a100, batch=1, n_gpus=8)
+        assert t8 == pytest.approx(t1 / 8)
+
+    def test_validation(self, a100):
+        with pytest.raises(ValueError):
+            weight_gemm_ms(LLAMA31_8B, a100, batch=0)
+
+
+class TestDecodeStep:
+    def test_breakdown_sums(self, a100):
+        attn = FlashDecodingV2(a100)
+        bd = decode_step_breakdown(LLAMA31_8B, a100, attn, batch=4, seq_len=8192)
+        assert bd.total_ms == pytest.approx(
+            bd.weights_ms + bd.attention_ms + bd.overhead_ms + bd.comm_ms
+        )
+        assert bd.comm_ms == 0  # single GPU
+
+    def test_multi_gpu_adds_comm(self, a100):
+        attn = FlashDecodingV2(a100)
+        bd = decode_step_breakdown(LLAMA31_70B, a100, attn, batch=1, seq_len=8192, n_gpus=8)
+        assert bd.comm_ms > 0
+
+    def test_attention_grows_with_context(self, a100):
+        attn = FlashDecodingV2(a100)
+        t1 = decode_step_ms(LLAMA31_8B, a100, attn, batch=1, seq_len=8192)
+        t2 = decode_step_ms(LLAMA31_8B, a100, attn, batch=1, seq_len=131072)
+        assert t2 > t1
+
+    def test_bitdecoding_cuts_long_context_latency(self, a100):
+        fp16 = FlashDecodingV2(a100)
+        bd = BitDecoding(BitDecodingConfig(bits=4), a100)
+        t_fp16 = decode_step_ms(LLAMA31_8B, a100, fp16, batch=1, seq_len=131072)
+        t_bd = decode_step_ms(LLAMA31_8B, a100, bd, batch=1, seq_len=131072)
+        assert 1.3 < t_fp16 / t_bd < 4.0  # paper: ~3x at 128K
+
+
+class TestThroughputAndGeneration:
+    def test_throughput_is_batch_over_step(self, a100):
+        attn = FlashDecodingV2(a100)
+        step = decode_step_ms(LLAMA31_8B, a100, attn, batch=8, seq_len=4096)
+        tput = decode_throughput_tokens_per_s(LLAMA31_8B, a100, attn, 8, 4096)
+        assert tput == pytest.approx(8 / (step * 1e-3))
+
+    def test_generation_latency_sums_growing_steps(self, a100):
+        attn = FlashDecodingV2(a100)
+        lat = generation_latency_s(LLAMA31_8B, a100, attn, seq_len=4096, new_tokens=4)
+        one = decode_step_ms(LLAMA31_8B, a100, attn, batch=1, seq_len=4096) * 1e-3
+        assert lat >= 4 * one * 0.99

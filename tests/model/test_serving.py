@@ -1,0 +1,98 @@
+"""Serving model: capacity, max batch, throughput chain."""
+
+import pytest
+
+from repro.baselines.flash_decoding import FlashDecodingV2
+from repro.core.attention import BitDecoding
+from repro.core.config import BitDecodingConfig
+from repro.model.config import LLAMA2_7B, LLAMA31_8B, LLAMA31_70B
+from repro.model.serving import (
+    CacheFormat,
+    ServingOOMError,
+    cache_bytes_per_token,
+    fits,
+    fp16_format,
+    int_format,
+    max_batch_size,
+    max_throughput_tokens_per_s,
+    memory_required_bytes,
+)
+
+
+class TestCacheFormats:
+    def test_fp16_baseline(self):
+        assert fp16_format().bits_per_value == 16
+
+    def test_int_format_has_metadata(self):
+        fmt = int_format(4, LLAMA31_8B)
+        assert fmt.bits_per_value == 4
+        assert fmt.meta_bytes_per_token_layer > 0
+
+    def test_bytes_per_token_ordering(self):
+        fp16 = cache_bytes_per_token(LLAMA31_8B, fp16_format())
+        int4 = cache_bytes_per_token(LLAMA31_8B, int_format(4, LLAMA31_8B))
+        int2 = cache_bytes_per_token(LLAMA31_8B, int_format(2, LLAMA31_8B))
+        assert fp16 > 3 * int4
+        assert int4 > 1.5 * int2
+
+    def test_paper_intro_example(self):
+        """Sec. I: a 7B model at 32K x batch 8 needs ~128GB of FP16 KV."""
+        per_token = cache_bytes_per_token(LLAMA2_7B, fp16_format())
+        total = 8 * 32768 * per_token
+        assert 120e9 < total < 145e9
+
+
+class TestCapacity:
+    def test_memory_includes_weights(self, a100):
+        req = memory_required_bytes(LLAMA31_8B, fp16_format(), 1, 1024)
+        assert req > LLAMA31_8B.weights_bytes()
+
+    def test_quantization_multiplies_max_batch(self, a100):
+        fp16_bs = max_batch_size(LLAMA31_8B, a100, fp16_format(), 32768)
+        int4_bs = max_batch_size(LLAMA31_8B, a100, int_format(4, LLAMA31_8B), 32768)
+        int2_bs = max_batch_size(LLAMA31_8B, a100, int_format(2, LLAMA31_8B), 32768)
+        assert int4_bs >= 3 * fp16_bs
+        assert int2_bs > int4_bs
+
+    def test_zero_when_nothing_fits(self, rtx4090):
+        # 70B weights alone exceed a 24GB card.
+        assert max_batch_size(LLAMA31_70B, rtx4090, fp16_format(), 1024) == 0
+
+    def test_workspace_counts_against_memory(self, a100):
+        heavy = CacheFormat(
+            name="kivi-like", bits_per_value=4,
+            workspace_bytes=lambda b, s: 2.0 * float(s) ** 2 * 2.0,
+        )
+        assert not fits(LLAMA31_8B, a100, heavy, 1, 131072)
+        assert fits(LLAMA31_8B, a100, heavy, 1, 65536)
+
+    def test_multi_gpu_divides_footprint(self, a100):
+        assert not fits(LLAMA31_70B, a100, fp16_format(), 1, 32768, n_gpus=1)
+        assert fits(LLAMA31_70B, a100, fp16_format(), 1, 32768, n_gpus=8)
+
+
+class TestThroughput:
+    def test_bitdecoding_beats_fp16_serving(self, a100):
+        fp16 = max_throughput_tokens_per_s(
+            LLAMA31_8B, a100, fp16_format(), FlashDecodingV2(a100), 32768
+        )
+        bd = max_throughput_tokens_per_s(
+            LLAMA31_8B, a100, int_format(4, LLAMA31_8B),
+            BitDecoding(BitDecodingConfig(bits=4), a100), 32768,
+        )
+        assert 2.0 < bd / fp16 < 6.5  # paper Table I: +2.98x
+
+    def test_oom_raises(self, rtx4090):
+        with pytest.raises(ServingOOMError):
+            max_throughput_tokens_per_s(
+                LLAMA31_70B, rtx4090, fp16_format(), FlashDecodingV2(rtx4090), 32768
+            )
+
+    def test_int2_highest_throughput(self, a100):
+        results = {}
+        for bits in (4, 2):
+            engine = BitDecoding(BitDecodingConfig(bits=bits), a100)
+            results[bits] = max_throughput_tokens_per_s(
+                LLAMA31_8B, a100, int_format(bits, LLAMA31_8B), engine, 32768
+            )
+        assert results[2] > results[4]

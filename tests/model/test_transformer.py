@@ -1,0 +1,103 @@
+"""TinyTransformer: the runnable numerics substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import BitDecoding
+from repro.core.config import BitDecodingConfig
+from repro.model.transformer import (
+    TinyTransformer,
+    apply_rope,
+    rms_norm,
+    rope_angles,
+    swiglu,
+)
+
+
+class TestPrimitives:
+    def test_rms_norm_unit_scale(self, rng):
+        x = rng.standard_normal((4, 16)).astype(np.float32)
+        out = rms_norm(x, np.ones(16, dtype=np.float32))
+        rms = np.sqrt(np.mean(out * out, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-3)
+
+    def test_rope_preserves_norm(self, rng):
+        x = rng.standard_normal((2, 8, 16)).astype(np.float32)
+        cos, sin = rope_angles(16, np.arange(8))
+        out = apply_rope(x, cos, sin)
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-5
+        )
+
+    def test_rope_position_zero_is_identity(self, rng):
+        x = rng.standard_normal((1, 1, 16)).astype(np.float32)
+        cos, sin = rope_angles(16, np.asarray([0]))
+        np.testing.assert_allclose(apply_rope(x, cos, sin), x, atol=1e-6)
+
+    def test_rope_relative_dot_products(self, rng):
+        """RoPE encodes relative positions: <q_m, k_n> depends on m - n."""
+        q = rng.standard_normal(16).astype(np.float32)
+        k = rng.standard_normal(16).astype(np.float32)
+        cos, sin = rope_angles(16, np.arange(10))
+        q_rot = apply_rope(np.tile(q, (10, 1))[None], cos, sin)[0]
+        k_rot = apply_rope(np.tile(k, (10, 1))[None], cos, sin)[0]
+        d1 = q_rot[5] @ k_rot[3]
+        d2 = q_rot[7] @ k_rot[5]  # same offset of 2
+        assert d1 == pytest.approx(d2, rel=1e-4, abs=1e-4)
+
+    def test_rope_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            rope_angles(15, np.arange(4))
+
+    def test_swiglu_shape(self, rng):
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        w_g = rng.standard_normal((8, 16)).astype(np.float32)
+        w_u = rng.standard_normal((8, 16)).astype(np.float32)
+        w_d = rng.standard_normal((16, 8)).astype(np.float32)
+        assert swiglu(x, w_g, w_u, w_d).shape == (2, 8)
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def dims(self):
+        return dict(n_layers=2, hq=4, hkv=2, head_dim=16, hidden=64, intermediate=128)
+
+    def test_reference_decode_runs(self, rng, dims):
+        model = TinyTransformer(**dims, engine=None, seed=0)
+        x = rng.standard_normal((1, 20, 64)).astype(np.float32)
+        model.prefill(x)
+        out = model.decode_step(rng.standard_normal((1, 64)).astype(np.float32))
+        assert out.shape == (1, 64)
+        assert np.all(np.isfinite(out))
+
+    def test_quantized_engine_tracks_reference(self, rng, dims):
+        """A full transformer forward through the INT8 cache stays close to
+        the exact-attention reference (INT8 error is tiny)."""
+        x = rng.standard_normal((1, 40, 64)).astype(np.float32) * 0.5
+        steps = [rng.standard_normal((1, 64)).astype(np.float32) * 0.5 for _ in range(3)]
+
+        ref = TinyTransformer(**dims, engine=None, seed=0)
+        ref.prefill(x.copy())
+        engine = BitDecoding(
+            BitDecodingConfig(bits=8, wn=2), "a100"
+        )  # small N_r so the cache actually quantizes
+        quant = TinyTransformer(**dims, engine=engine, seed=0)
+        quant.prefill(x.copy())
+
+        for step in steps:
+            out_ref = ref.decode_step(step.copy())
+            out_quant = quant.decode_step(step.copy())
+        rel = np.abs(out_quant - out_ref).max() / (np.abs(out_ref).max() + 1e-9)
+        assert rel < 0.05
+
+    def test_cache_grows_with_decode(self, rng, dims):
+        engine = BitDecoding(BitDecodingConfig(bits=4), "a100")
+        model = TinyTransformer(**dims, engine=engine, seed=0)
+        model.prefill(rng.standard_normal((1, 10, 64)).astype(np.float32))
+        assert model.caches[0].seq_len == 10
+        model.decode_step(rng.standard_normal((1, 64)).astype(np.float32))
+        assert model.caches[0].seq_len == 11
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            TinyTransformer(n_layers=1, hq=4, hkv=2, head_dim=16, hidden=63, intermediate=64)

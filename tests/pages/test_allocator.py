@@ -1,0 +1,75 @@
+"""Page allocator conservation invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pages.allocator import OutOfPagesError, PageAllocator
+
+
+class TestAllocator:
+    def test_initial_state(self):
+        alloc = PageAllocator(16)
+        assert alloc.free_pages == 16
+        assert alloc.used_pages == 0
+
+    def test_allocate_free_cycle(self):
+        alloc = PageAllocator(4)
+        page = alloc.allocate()
+        assert alloc.used_pages == 1
+        alloc.free(page)
+        assert alloc.used_pages == 0
+        assert alloc.free_pages == 4
+
+    def test_exhaustion_raises(self):
+        alloc = PageAllocator(2)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(OutOfPagesError):
+            alloc.allocate()
+
+    def test_allocate_many_all_or_nothing(self):
+        alloc = PageAllocator(4)
+        alloc.allocate()
+        with pytest.raises(OutOfPagesError):
+            alloc.allocate_many(4)
+        # Failed bulk allocation must not leak pages.
+        assert alloc.free_pages == 3
+
+    def test_double_free_rejected(self):
+        alloc = PageAllocator(2)
+        page = alloc.allocate()
+        alloc.free(page)
+        with pytest.raises(ValueError):
+            alloc.free(page)
+
+    def test_free_unallocated_rejected(self):
+        with pytest.raises(ValueError):
+            PageAllocator(2).free(0)
+
+    def test_unique_page_ids(self):
+        alloc = PageAllocator(32)
+        pages = alloc.allocate_many(32)
+        assert len(set(pages)) == 32
+
+    def test_zero_pool_rejected(self):
+        with pytest.raises(ValueError):
+            PageAllocator(0)
+
+
+class TestConservationProperty:
+    @given(ops=st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_free_plus_used_constant(self, ops):
+        alloc = PageAllocator(16)
+        held = []
+        for op in ops:
+            if op == 0:
+                try:
+                    held.append(alloc.allocate())
+                except OutOfPagesError:
+                    assert alloc.free_pages == 0
+            elif held:
+                alloc.free(held.pop())
+            assert alloc.free_pages + alloc.used_pages == 16
+            assert alloc.used_pages == len(held)

@@ -1,0 +1,91 @@
+"""Page table: logical->physical mapping and growth."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pages.allocator import OutOfPagesError, PageAllocator
+from repro.pages.page_table import PagedSequence, PageTable
+
+
+class TestPagedSequence:
+    def test_lookup(self):
+        seq = PagedSequence(page_size=4, pages=[7, 9], length=6)
+        assert seq.lookup(0) == (7, 0)
+        assert seq.lookup(3) == (7, 3)
+        assert seq.lookup(4) == (9, 0)
+        assert seq.lookup(5) == (9, 1)
+
+    def test_lookup_bounds(self):
+        seq = PagedSequence(page_size=4, pages=[7], length=2)
+        with pytest.raises(IndexError):
+            seq.lookup(2)
+        with pytest.raises(IndexError):
+            seq.lookup(-1)
+
+    def test_needs_page(self):
+        seq = PagedSequence(page_size=4, pages=[1], length=4)
+        assert seq.needs_page()
+
+
+class TestPageTable:
+    def test_add_sequence_allocates_ceiling(self):
+        table = PageTable(PageAllocator(64), page_size=16)
+        sid = table.add_sequence(initial_length=33)
+        assert len(table.sequences[sid].pages) == 3
+
+    def test_append_allocates_on_boundary(self):
+        alloc = PageAllocator(8)
+        table = PageTable(alloc, page_size=4)
+        sid = table.add_sequence(initial_length=4)
+        used_before = alloc.used_pages
+        table.append_token(sid)
+        assert alloc.used_pages == used_before + 1
+        table.append_token(sid)
+        assert alloc.used_pages == used_before + 1  # same page
+
+    def test_release_returns_pages(self):
+        alloc = PageAllocator(8)
+        table = PageTable(alloc, page_size=4)
+        sid = table.add_sequence(initial_length=16)
+        table.release_sequence(sid)
+        assert alloc.free_pages == 8
+
+    def test_oom_on_add(self):
+        table = PageTable(PageAllocator(2), page_size=4)
+        with pytest.raises(OutOfPagesError):
+            table.add_sequence(initial_length=100)
+
+    def test_fragmentation(self):
+        table = PageTable(PageAllocator(8), page_size=4)
+        table.add_sequence(initial_length=5)  # 2 pages, 3 slots wasted
+        assert table.fragmentation() == pytest.approx(3 / 8)
+
+    def test_fragmentation_empty(self):
+        assert PageTable(PageAllocator(4)).fragmentation() == 0.0
+
+    def test_total_tokens(self):
+        table = PageTable(PageAllocator(32), page_size=4)
+        table.add_sequence(initial_length=5)
+        table.add_sequence(initial_length=7)
+        assert table.total_tokens() == 12
+
+
+class TestGrowthProperty:
+    @given(
+        page_size=st.sampled_from([4, 16, 64]),
+        appends=st.integers(0, 200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_page_count_is_ceiling(self, page_size, appends):
+        table = PageTable(PageAllocator(512), page_size=page_size)
+        sid = table.add_sequence()
+        for _ in range(appends):
+            table.append_token(sid)
+        seq = table.sequences[sid]
+        assert seq.length == appends
+        assert len(seq.pages) == -(-appends // page_size)
+        # Every token resolves to a valid page.
+        for t in range(appends):
+            page, offset = seq.lookup(t)
+            assert 0 <= offset < page_size

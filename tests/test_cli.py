@@ -1,0 +1,38 @@
+"""CLI entry point (`python -m repro`)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_devices(self, capsys):
+        main(["devices"])
+        out = capsys.readouterr().out
+        for name in ("a100", "rtx4090", "h100", "rtx5090", "rtx_pro_6000"):
+            assert name in out
+
+    def test_demo(self, capsys):
+        main(["demo"])
+        out = capsys.readouterr().out
+        assert "compression" in out
+        assert "max error" in out
+
+    def test_sweep(self, capsys):
+        main(["sweep", "--arch", "rtx4090"])
+        out = capsys.readouterr().out
+        assert "BitDecoding" in out
+        assert "131072" in out
+
+    def test_experiment(self, capsys):
+        main(["experiment", "table2"])
+        out = capsys.readouterr().out
+        assert "Marlin" in out
+
+    def test_unknown_experiment_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
