@@ -15,11 +15,11 @@ from repro.model import (
     LLAMA2_7B,
     LLAMA31_8B,
     QWEN3_8B,
-    cache_bytes_per_token,
     fp16_format,
     int_format,
     max_batch_size,
     max_throughput_tokens_per_s,
+    page_pool_size,
 )
 from repro.pages import OutOfPagesError, PageAllocator, PageTable
 
@@ -50,9 +50,8 @@ def main() -> None:
     model = LLAMA31_8B
     page_tokens = 64
     for fmt in (fp16_format(), int_format(4, model)):
-        budget = arch.memory_gb * (1024 ** 3) * 0.9 - model.weights_bytes()
-        page_bytes = page_tokens * cache_bytes_per_token(model, fmt)
-        allocator = PageAllocator(int(budget // page_bytes))
+        n_pages = page_pool_size(model, arch, fmt, page_size=page_tokens)
+        allocator = PageAllocator(n_pages)
         table = PageTable(allocator, page_size=page_tokens)
         admitted = 0
         try:

@@ -6,6 +6,7 @@ Usage::
     python -m repro demo                    # tiny numerics demo
     python -m repro sweep [--arch a100]     # kernel speedup sweep
     python -m repro experiment fig10        # run one paper experiment
+    python -m repro serve-sim [--steps 50]  # continuous-batching simulation
 """
 
 from __future__ import annotations
@@ -98,6 +99,79 @@ def _cmd_experiment(name: str) -> None:
     lookup[name]().show()
 
 
+def _cmd_serve_sim(args) -> None:
+    import json
+
+    from repro.gpu.arch import get_arch
+    from repro.model.config import get_model
+    from repro.model.serving import ServingOOMError
+    from repro.serving import compare_formats, paper_serving_stacks, poisson_trace
+
+    try:
+        model = get_model(args.model)
+        arch = get_arch(args.arch)
+        trace = poisson_trace(
+            args.requests,
+            args.rate,
+            args.prompt_len,
+            args.output_len,
+            seed=args.seed,
+            prompt_jitter=args.prompt_jitter,
+            output_jitter=args.output_jitter,
+        )
+        stacks = paper_serving_stacks(model, arch, residual_window=args.residual_window)
+        reports = compare_formats(
+            model,
+            arch,
+            stacks,
+            trace,
+            page_size=args.page_size,
+            max_batch=args.max_batch,
+            n_gpus=args.n_gpus,
+            max_steps=args.steps,
+        )
+    except (KeyError, ValueError, ServingOOMError) as err:
+        message = err.args[0] if err.args else err
+        print(f"serve-sim: {message}")
+        sys.exit(2)
+    if args.json:
+        print(json.dumps({
+            "model": model.name,
+            "arch": arch.name,
+            "requests": args.requests,
+            "rate_rps": args.rate,
+            "seed": args.seed,
+            "reports": [r.to_dict() for r in reports],
+        }, indent=2))
+        return
+
+    def fmt_s(value) -> str:
+        return f"{value:10.2f}" if value is not None else f"{'-':>10}"
+
+    print(
+        f"serve-sim: {model.name} on {arch.name} | {args.requests} requests, "
+        f"Poisson {args.rate:.1f} req/s, seed {args.seed}"
+    )
+    print(
+        f"prompt {args.prompt_len} tok, output {args.output_len} tok, "
+        f"page {args.page_size} tok, max batch {args.max_batch}"
+        + (f", step cap {args.steps}" if args.steps else "")
+    )
+    header = (
+        f"{'format':<6} {'pages':>7} {'peak batch':>10} {'preempt':>8} {'done':>5} "
+        f"{'tok/s':>9} {'p50 lat s':>10} {'p99 lat s':>10}"
+    )
+    print()
+    print(header)
+    print("-" * len(header))
+    for r in reports:
+        print(
+            f"{r.format_name:<6} {r.n_pages:>7} {r.peak_resident_batch:>10} "
+            f"{r.preemptions:>8} {r.completed:>5} {r.sustained_tokens_per_s:>9.1f} "
+            f"{fmt_s(r.p50_latency_s)} {fmt_s(r.p99_latency_s)}"
+        )
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -107,6 +181,25 @@ def main(argv=None) -> None:
     sweep.add_argument("--arch", default="a100")
     experiment = sub.add_parser("experiment")
     experiment.add_argument("name")
+    serve = sub.add_parser(
+        "serve-sim",
+        help="continuous-batching simulation: FP16 vs INT4 vs INT2 serving",
+    )
+    serve.add_argument("--model", default="llama-3.1-8b")
+    serve.add_argument("--arch", default="a100")
+    serve.add_argument("--requests", type=int, default=96)
+    serve.add_argument("--rate", type=float, default=32.0, help="Poisson req/s")
+    serve.add_argument("--prompt-len", type=int, default=8192)
+    serve.add_argument("--output-len", type=int, default=256)
+    serve.add_argument("--prompt-jitter", type=float, default=0.0)
+    serve.add_argument("--output-jitter", type=float, default=0.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--page-size", type=int, default=64)
+    serve.add_argument("--max-batch", type=int, default=384)
+    serve.add_argument("--residual-window", type=int, default=64)
+    serve.add_argument("--n-gpus", type=int, default=1)
+    serve.add_argument("--steps", type=int, default=None, help="scheduler step cap")
+    serve.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
 
     if args.command == "devices":
@@ -117,6 +210,8 @@ def main(argv=None) -> None:
         _cmd_sweep(args.arch)
     elif args.command == "experiment":
         _cmd_experiment(args.name)
+    elif args.command == "serve-sim":
+        _cmd_serve_sim(args)
 
 
 if __name__ == "__main__":

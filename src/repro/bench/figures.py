@@ -25,7 +25,6 @@ from repro.core.attention import BitDecoding
 from repro.core.config import AttentionGeometry, BitDecodingConfig
 from repro.core.packing_kernel import build_packing_launch
 from repro.core.residual_kernel import build_prefill_quant_launch
-from repro.baselines.continuous_packing import build_repack_launch
 from repro.baselines.ladder import LadderTransform
 from repro.baselines.marlin import MarlinRepack
 from repro.gpu.arch import get_arch
@@ -40,7 +39,6 @@ from repro.model import (
     decode_throughput_tokens_per_s,
     fp16_format,
     int_format,
-    max_batch_size,
     max_throughput_tokens_per_s,
 )
 from repro.model.serving import cache_bytes_per_token

@@ -16,7 +16,6 @@ model that mirrors the same per-tile work.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

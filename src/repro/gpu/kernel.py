@@ -17,7 +17,6 @@ penalty (SM80 code on Hopper/Blackwell) are added on top.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable
 

@@ -119,6 +119,27 @@ def decode_throughput_tokens_per_s(
     return batch / (step_ms * 1e-3)
 
 
+def prefill_time_ms(
+    model: ModelConfig,
+    arch: ArchSpec,
+    prompt_len: int,
+    n_gpus: int = 1,
+) -> float:
+    """Coarse prefill-latency model for the serving engine.
+
+    Prefill is token-parallel, so the weight GEMMs see an effective batch
+    of ``prompt_len`` tokens (compute-bound past a few hundred tokens) and
+    causal attention adds ``2 * d * L^2`` Tensor-Core FLOPs per head per
+    layer (QK^T + PV, halved by causality, 2 FLOPs per MAC).
+    """
+    if prompt_len <= 0:
+        raise ValueError("prompt_len must be positive")
+    gemm_ms = weight_gemm_ms(model, arch, batch=prompt_len, n_gpus=n_gpus)
+    attn_flops = model.n_layers * model.hq * 2.0 * model.head_dim * float(prompt_len) ** 2
+    attn_ms = attn_flops / (arch.tc_flops_per_s("fp16") * n_gpus) * 1e3
+    return gemm_ms + attn_ms
+
+
 def generation_latency_s(
     model: ModelConfig,
     arch: ArchSpec,

@@ -1,87 +1,57 @@
-"""Serving model: memory capacity, batch limits, max throughput.
+"""Static serving model: memory capacity, batch limits, max throughput.
 
 The paper's serving results (Figs. 12b, 13, Table I) hinge on one chain of
 effects: lower-bit caches fit more sequences in device memory, bigger
 batches amortize the weight GEMMs, and the attention kernel must not throw
-the advantage away.  This module owns that chain: a memory model (weights +
-paged KV + workspace), the max-batch computation, and a throughput sweep.
+the advantage away.  The byte-accounting half of that chain lives in
+:mod:`repro.model.memory` (shared with the dynamic continuous-batching
+engine in :mod:`repro.serving`); this module owns the static questions on
+top of it: does a serving point fit, what is the largest batch that fits,
+and what throughput does that batch deliver.
 """
 
 from __future__ import annotations
-
-import math
-from dataclasses import dataclass
-from typing import Callable, Optional
 
 from repro.gpu.arch import ArchSpec
 from repro.model.config import ModelConfig
 from repro.model.inference import AttentionSystem, decode_throughput_tokens_per_s
 
-#: Fraction of device memory usable for weights+cache (allocator slack,
-#: activations, CUDA context).
-_USABLE_MEMORY_FRACTION = 0.9
+# Re-exported for compatibility: CacheFormat and the byte accounting moved
+# to repro.model.memory so the dynamic engine shares one code path.
+from repro.model.memory import (
+    USABLE_MEMORY_FRACTION,
+    CacheFormat,
+    cache_bytes_per_token,
+    fp16_format,
+    int_format,
+    memory_budget_bytes,
+    memory_required_bytes,
+)
+
+__all__ = [
+    "USABLE_MEMORY_FRACTION",
+    "CacheFormat",
+    "ServingOOMError",
+    "cache_bytes_per_token",
+    "fits",
+    "fp16_format",
+    "int_format",
+    "max_batch_size",
+    "max_throughput_tokens_per_s",
+    "memory_budget_bytes",
+    "memory_required_bytes",
+]
 
 
 class ServingOOMError(RuntimeError):
     """A requested serving point does not fit in device memory."""
 
 
-@dataclass(frozen=True)
-class CacheFormat:
-    """Storage cost of one KV-cache format."""
-
-    name: str
-    bits_per_value: float
-    #: Metadata bytes per token per layer (scales/zeros across heads).
-    meta_bytes_per_token_layer: float = 0.0
-    #: Extra resident workspace the system needs, as a function of
-    #: (batch, seq_len) -> bytes (e.g. KIVI's materialized score matrix).
-    workspace_bytes: Optional[Callable[[int, int], float]] = None
-
-
-def fp16_format() -> CacheFormat:
-    return CacheFormat(name="FP16", bits_per_value=16.0)
-
-
-def int_format(bits: int, model: ModelConfig, group_size: int = 64) -> CacheFormat:
-    """Integer cache with channel-wise keys + per-token values (half2)."""
-    k_meta = model.hkv * model.head_dim / group_size * 4.0
-    v_meta = model.hkv * 4.0
-    return CacheFormat(
-        name=f"INT{bits}",
-        bits_per_value=float(bits),
-        meta_bytes_per_token_layer=k_meta + v_meta,
-    )
-
-
-def cache_bytes_per_token(model: ModelConfig, fmt: CacheFormat) -> float:
-    per_layer = (
-        2.0 * model.hkv * model.head_dim * fmt.bits_per_value / 8.0
-        + fmt.meta_bytes_per_token_layer
-    )
-    return model.n_layers * per_layer
-
-
-def memory_required_bytes(
-    model: ModelConfig,
-    fmt: CacheFormat,
-    batch: int,
-    seq_len: int,
-    n_gpus: int = 1,
-) -> float:
-    """Device-resident bytes at a serving point (per GPU)."""
-    total = model.weights_bytes() / n_gpus
-    total += batch * seq_len * cache_bytes_per_token(model, fmt) / n_gpus
-    if fmt.workspace_bytes is not None:
-        total += fmt.workspace_bytes(batch, seq_len) / n_gpus
-    return total
-
-
 def fits(
     model: ModelConfig, arch: ArchSpec, fmt: CacheFormat,
     batch: int, seq_len: int, n_gpus: int = 1,
 ) -> bool:
-    budget = arch.memory_gb * (1024 ** 3) * _USABLE_MEMORY_FRACTION
+    budget = memory_budget_bytes(arch)
     return memory_required_bytes(model, fmt, batch, seq_len, n_gpus) <= budget
 
 

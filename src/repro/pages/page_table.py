@@ -43,16 +43,23 @@ class PageTable:
         self.allocator = allocator
         self.page_size = page_size
         self.sequences: List[PagedSequence] = []
+        self._free_ids: List[int] = []
 
     def add_sequence(self, initial_length: int = 0) -> int:
         """Register a sequence, allocating pages for an initial context.
 
-        Returns the sequence id.  Raises ``OutOfPagesError`` (leaving no
-        partial allocation behind) when the pool cannot hold the context.
+        Returns the sequence id; ids of released sequences are recycled, so
+        a long-lived table stays bounded by peak concurrency rather than
+        total admissions.  Raises ``OutOfPagesError`` (leaving no partial
+        allocation behind) when the pool cannot hold the context.
         """
         n_pages = -(-initial_length // self.page_size) if initial_length else 0
         pages = self.allocator.allocate_many(n_pages)
         seq = PagedSequence(page_size=self.page_size, pages=pages, length=initial_length)
+        if self._free_ids:
+            seq_id = self._free_ids.pop()
+            self.sequences[seq_id] = seq
+            return seq_id
         self.sequences.append(seq)
         return len(self.sequences) - 1
 
@@ -64,11 +71,14 @@ class PageTable:
         seq.length += 1
 
     def release_sequence(self, seq_id: int) -> None:
-        """Free all pages of a finished sequence."""
+        """Free all pages of a finished sequence and recycle its id."""
+        if seq_id in self._free_ids:
+            raise ValueError(f"sequence {seq_id} is already released")
         seq = self.sequences[seq_id]
         self.allocator.free_many(seq.pages)
         seq.pages = []
         seq.length = 0
+        self._free_ids.append(seq_id)
 
     def total_tokens(self) -> int:
         return sum(seq.length for seq in self.sequences)

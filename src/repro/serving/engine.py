@@ -1,0 +1,303 @@
+"""Discrete-event continuous-batching engine over the paged low-bit KV cache.
+
+This is the paper's serving claim (Figs. 12b/13, Table I) made dynamic:
+instead of asking "what is the largest static batch that fits", the engine
+schedules a *trace* of requests through a physical page pool and measures
+what the format actually sustains under load.
+
+Mechanics (the vLLM/QServe-style loop, one simulation step at a time):
+
+- **Admission** is FCFS: the head of the wait queue is admitted as soon as
+  the page pool can hold its context, charged a prefill step
+  (:func:`repro.model.inference.prefill_time_ms`).  Admission does not
+  skip over a blocked head — that keeps the discipline starvation-free.
+- **Decode** advances every resident sequence by one token.  Token growth
+  allocates pages through the shared
+  :class:`~repro.pages.page_table.PageTable`; when the
+  :class:`~repro.pages.allocator.PageAllocator` runs dry the engine
+  preempts the most recently admitted sequence, releases all its pages,
+  and requeues it at the front of the wait queue (recompute-style: its
+  generated-token count is kept, its KV is rebuilt on re-admission).
+- **Step timing** comes from the existing end-to-end latency model
+  (:func:`repro.model.inference.decode_step_ms`) with whichever
+  duck-typed attention system matches the cache format, so FP16 vs INT4
+  vs INT2 runs differ exactly where the paper says they do: page-pool
+  capacity and attention kernel time.
+
+The page pool is sized from the *same* byte accounting the static model
+uses (:func:`repro.model.memory.page_pool_size`), which is what makes
+"equal memory, different bit width" a fair comparison.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.gpu.arch import ArchSpec
+from repro.model.config import ModelConfig
+from repro.model.inference import AttentionSystem, decode_step_ms, prefill_time_ms
+from repro.model.memory import CacheFormat, page_pool_size
+from repro.model.serving import ServingOOMError
+from repro.pages.allocator import OutOfPagesError, PageAllocator
+from repro.pages.page_table import PageTable
+from repro.serving.report import ServingReport
+from repro.serving.request import Request
+
+
+@dataclass
+class EngineConfig:
+    """Knobs of one simulation run."""
+
+    model: ModelConfig
+    arch: ArchSpec
+    fmt: CacheFormat
+    attention: AttentionSystem
+    page_size: int = 64
+    #: Physical pages in the pool; None derives it from the device memory
+    #: left after weights and residual buffers (the shared code path with
+    #: the static serving model).
+    n_pages: Optional[int] = None
+    max_batch: int = 384
+    n_gpus: int = 1
+    #: Cap on scheduler iterations (one admission phase + one decode step
+    #: each); None runs the trace to completion.
+    max_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.n_gpus <= 0:
+            raise ValueError("n_gpus must be positive")
+
+
+@dataclass
+class RequestLifecycle:
+    """Mutable scheduler-side state of one request."""
+
+    request: Request
+    seq_id: Optional[int] = None
+    generated: int = 0
+    admitted_s: Optional[float] = None
+    first_token_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    preemptions: int = 0
+    rejected: bool = False
+
+    @property
+    def context_len(self) -> int:
+        """Tokens the KV cache must hold before the next decode step."""
+        return self.request.prompt_len + self.generated
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_s is not None
+
+
+class ContinuousBatchingEngine:
+    """Run one request trace through one (cache format, attention) stack."""
+
+    def __init__(self, config: EngineConfig, requests: Sequence[Request]):
+        self.config = config
+        n_pages = config.n_pages
+        if n_pages is None:
+            n_pages = page_pool_size(
+                config.model,
+                config.arch,
+                config.fmt,
+                page_size=config.page_size,
+                n_gpus=config.n_gpus,
+                reserved_seqs=config.max_batch,
+            )
+        if n_pages <= 0:
+            raise ServingOOMError(
+                f"{config.model.name} leaves no page budget for {config.fmt.name} "
+                f"on {config.arch.name} x{config.n_gpus}"
+            )
+        self.n_pages = n_pages
+        self.allocator = PageAllocator(n_pages)
+        self.table = PageTable(self.allocator, page_size=config.page_size)
+        self.lifecycles: List[RequestLifecycle] = [
+            RequestLifecycle(r)
+            for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+        ]
+        self._queue: Deque[RequestLifecycle] = deque()
+        self._running: List[RequestLifecycle] = []
+        self._clock = 0.0
+        self._steps = 0
+        self._prefill_steps = 0
+        self._decode_steps = 0
+        self._preemptions = 0
+        self._total_generated = 0
+        self._peak_resident = 0
+
+    # ------------------------------------------------------------- scheduling
+
+    def _pages_needed(self, tokens: int) -> int:
+        return -(-tokens // self.config.page_size)
+
+    def _admit(self) -> None:
+        """FCFS admission: prefill queued requests while pages + slots last."""
+        cfg = self.config
+        while self._queue and len(self._running) < cfg.max_batch:
+            head = self._queue[0]
+            if self._pages_needed(head.request.total_len) > self.n_pages:
+                # Could never finish, even with the pool to itself; admitting
+                # it would only preempt-thrash, so reject it outright.
+                head.rejected = True
+                self._queue.popleft()
+                continue
+            need = self._pages_needed(head.context_len)
+            if need > self.allocator.free_pages:
+                break
+            self._queue.popleft()
+            head.seq_id = self.table.add_sequence(head.context_len)
+            if head.admitted_s is None:
+                head.admitted_s = self._clock
+            self._clock += (
+                prefill_time_ms(cfg.model, cfg.arch, head.context_len, cfg.n_gpus)
+                * 1e-3
+            )
+            self._prefill_steps += 1
+            self._running.append(head)
+        self._peak_resident = max(self._peak_resident, len(self._running))
+
+    def _preempt(self, victim: RequestLifecycle) -> None:
+        """Release a sequence's pages and requeue it for recompute."""
+        assert victim.seq_id is not None
+        self.table.release_sequence(victim.seq_id)
+        victim.seq_id = None
+        victim.preemptions += 1
+        self._preemptions += 1
+        self._running.remove(victim)
+        # Requeueing at the front cannot livelock: admission rejects any
+        # request whose total context exceeds the pool, so a sequence that
+        # has the pool to itself always has room to grow and the earliest
+        # admitted sequence always completes.
+        self._queue.appendleft(victim)
+
+    def _grow(self, lc: RequestLifecycle) -> bool:
+        """Make room for one more token; False if ``lc`` itself got evicted."""
+        assert lc.seq_id is not None
+        while True:
+            try:
+                self.table.append_token(lc.seq_id)
+                return True
+            except OutOfPagesError:
+                victim = self._running[-1]  # most recently admitted
+                evicted_self = victim is lc
+                self._preempt(victim)
+                if evicted_self:
+                    return False
+
+    def _decode(self) -> None:
+        """One decode step: every resident sequence emits one token."""
+        cfg = self.config
+        for lc in list(self._running):
+            if lc.seq_id is None:
+                continue  # preempted earlier in this loop
+            self._grow(lc)
+        if not self._running:
+            return
+        batch = len(self._running)
+        seq_len = max(lc.context_len + 1 for lc in self._running)
+        step_s = (
+            decode_step_ms(cfg.model, cfg.arch, cfg.attention, batch, seq_len, cfg.n_gpus)
+            * 1e-3
+        )
+        self._clock += step_s
+        self._decode_steps += 1
+        self._peak_resident = max(self._peak_resident, batch)
+        for lc in list(self._running):
+            lc.generated += 1
+            self._total_generated += 1
+            if lc.first_token_s is None:
+                lc.first_token_s = self._clock
+            if lc.generated >= lc.request.output_len:
+                assert lc.seq_id is not None
+                self.table.release_sequence(lc.seq_id)
+                lc.seq_id = None
+                lc.finish_s = self._clock
+                self._running.remove(lc)
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> ServingReport:
+        """Drive the trace to completion (or the step cap) and report."""
+        pending: Deque[RequestLifecycle] = deque(self.lifecycles)
+        while True:
+            while pending and pending[0].request.arrival_s <= self._clock:
+                self._queue.append(pending.popleft())
+            if not self._queue and not self._running:
+                if not pending:
+                    break
+                self._clock = pending[0].request.arrival_s
+                continue
+            if self.config.max_steps is not None and self._steps >= self.config.max_steps:
+                break
+            self._steps += 1
+            self._admit()
+            self._decode()
+        return self._report()
+
+    def _report(self) -> ServingReport:
+        finished = [lc for lc in self.lifecycles if lc.finished]
+        latencies = [lc.finish_s - lc.request.arrival_s for lc in finished]
+        ttfts = [
+            lc.first_token_s - lc.request.arrival_s
+            for lc in self.lifecycles
+            if lc.first_token_s is not None
+        ]
+        return ServingReport.build(
+            format_name=self.config.fmt.name,
+            n_pages=self.n_pages,
+            page_size=self.config.page_size,
+            n_requests=len(self.lifecycles),
+            rejected=sum(1 for lc in self.lifecycles if lc.rejected),
+            preemptions=self._preemptions,
+            prefill_steps=self._prefill_steps,
+            decode_steps=self._decode_steps,
+            sim_time_s=self._clock,
+            total_generated_tokens=self._total_generated,
+            peak_resident_batch=self._peak_resident,
+            latencies_s=latencies,
+            ttfts_s=ttfts,
+        )
+
+
+def compare_formats(
+    model: ModelConfig,
+    arch: ArchSpec,
+    stacks: Sequence[Tuple[CacheFormat, AttentionSystem]],
+    requests: Sequence[Request],
+    page_size: int = 64,
+    max_batch: int = 384,
+    n_gpus: int = 1,
+    max_steps: Optional[int] = None,
+) -> List[ServingReport]:
+    """Run the same trace through several (format, attention) stacks.
+
+    Every stack gets the page pool its format affords within the *same*
+    device-memory budget — the lower-bit formats earn more pages, which is
+    the whole serving argument of the paper.
+    """
+    reports = []
+    for fmt, attention in stacks:
+        engine = ContinuousBatchingEngine(
+            EngineConfig(
+                model=model,
+                arch=arch,
+                fmt=fmt,
+                attention=attention,
+                page_size=page_size,
+                max_batch=max_batch,
+                n_gpus=n_gpus,
+                max_steps=max_steps,
+            ),
+            requests,
+        )
+        reports.append(engine.run())
+    return reports

@@ -1,0 +1,44 @@
+"""The paper's serving stacks: cache format paired with attention system.
+
+Each entry binds a :class:`~repro.model.memory.CacheFormat` to the
+attention system that actually decodes from it, so a simulation differs
+between formats exactly where the paper says it should: page-pool
+capacity (bytes per cached token) and attention kernel time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.baselines.flash_decoding import FlashDecodingV2
+from repro.core.attention import BitDecoding
+from repro.core.config import BitDecodingConfig
+from repro.gpu.arch import ArchSpec
+from repro.model.config import ModelConfig
+from repro.model.inference import AttentionSystem
+from repro.model.memory import CacheFormat, fp16_format, int_format
+
+
+def paper_serving_stacks(
+    model: ModelConfig,
+    arch: ArchSpec,
+    residual_window: int = 64,
+) -> List[Tuple[CacheFormat, AttentionSystem]]:
+    """FP16 / INT4 / INT2 stacks for the Fig. 13-style comparison.
+
+    The low-bit formats carry an FP16 residual window per sequence
+    (Sec. IV-A(2)): the newest tokens stay unquantized until a Tensor-Core
+    aligned block fills, and the engine reserves that working set per
+    batch slot before sizing the page pool.
+    """
+    return [
+        (fp16_format(), FlashDecodingV2(arch)),
+        (
+            int_format(4, model, residual_window=residual_window),
+            BitDecoding(BitDecodingConfig(bits=4), arch),
+        ),
+        (
+            int_format(2, model, residual_window=residual_window),
+            BitDecoding(BitDecodingConfig(bits=2), arch),
+        ),
+    ]

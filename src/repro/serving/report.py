@@ -1,0 +1,83 @@
+"""Simulation metrics: what one engine run reports.
+
+The report carries exactly the quantities the paper's serving argument is
+about — sustained tokens/s, request-latency percentiles, and the peak
+resident batch the page pool supported — plus the scheduler counters
+(preemptions, rejections, step counts) the tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    if not values:
+        return None
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one continuous-batching simulation."""
+
+    format_name: str
+    n_pages: int
+    page_size: int
+    n_requests: int
+    completed: int
+    rejected: int
+    preemptions: int
+    prefill_steps: int
+    decode_steps: int
+    sim_time_s: float
+    total_generated_tokens: int
+    peak_resident_batch: int
+    sustained_tokens_per_s: float
+    p50_latency_s: Optional[float]
+    p99_latency_s: Optional[float]
+    p50_ttft_s: Optional[float]
+
+    @classmethod
+    def build(
+        cls,
+        format_name: str,
+        n_pages: int,
+        page_size: int,
+        n_requests: int,
+        rejected: int,
+        preemptions: int,
+        prefill_steps: int,
+        decode_steps: int,
+        sim_time_s: float,
+        total_generated_tokens: int,
+        peak_resident_batch: int,
+        latencies_s: List[float],
+        ttfts_s: List[float],
+    ) -> "ServingReport":
+        sustained = total_generated_tokens / sim_time_s if sim_time_s > 0 else 0.0
+        return cls(
+            format_name=format_name,
+            n_pages=n_pages,
+            page_size=page_size,
+            n_requests=n_requests,
+            completed=len(latencies_s),
+            rejected=rejected,
+            preemptions=preemptions,
+            prefill_steps=prefill_steps,
+            decode_steps=decode_steps,
+            sim_time_s=sim_time_s,
+            total_generated_tokens=total_generated_tokens,
+            peak_resident_batch=peak_resident_batch,
+            sustained_tokens_per_s=sustained,
+            p50_latency_s=_percentile(latencies_s, 50.0),
+            p99_latency_s=_percentile(latencies_s, 99.0),
+            p50_ttft_s=_percentile(ttfts_s, 50.0),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (None percentiles stay None)."""
+        return asdict(self)

@@ -1,0 +1,77 @@
+"""Request model and traffic traces for the serving engine.
+
+A request is the unit the continuous-batching scheduler reasons about: it
+arrives at a point in time, carries a prompt that must be prefilled, and
+wants a fixed number of decoded tokens.  Traces are generated with a
+seeded Poisson process so every simulation is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Request:
+    """One serving request: arrival time plus prompt/output lengths."""
+
+    req_id: int
+    arrival_s: float
+    prompt_len: int
+    output_len: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if self.prompt_len <= 0 or self.output_len <= 0:
+            raise ValueError("prompt_len and output_len must be positive")
+
+    @property
+    def total_len(self) -> int:
+        """Context length when the last output token has been decoded."""
+        return self.prompt_len + self.output_len
+
+
+def _jittered(rng: np.random.Generator, base: int, jitter: float) -> int:
+    if jitter <= 0:
+        return base
+    return max(1, int(round(base * rng.uniform(1.0 - jitter, 1.0 + jitter))))
+
+
+def poisson_trace(
+    n_requests: int,
+    rate_rps: float,
+    prompt_len: int,
+    output_len: int,
+    seed: int = 0,
+    prompt_jitter: float = 0.0,
+    output_jitter: float = 0.0,
+) -> List[Request]:
+    """Build a deterministic Poisson arrival trace.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate_rps``; prompt
+    and output lengths are drawn uniformly within ``+-jitter`` of their
+    base values (0 keeps them fixed).  The same seed always yields the
+    same trace, which is what makes the engine tests and the FP16 vs
+    INT4/INT2 comparisons apples-to-apples.
+    """
+    if n_requests <= 0:
+        raise ValueError("n_requests must be positive")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, n_requests)
+    arrivals = np.cumsum(gaps)
+    arrivals -= arrivals[0]  # first request lands at t=0
+    return [
+        Request(
+            req_id=i,
+            arrival_s=float(arrivals[i]),
+            prompt_len=_jittered(rng, prompt_len, prompt_jitter),
+            output_len=_jittered(rng, output_len, output_jitter),
+        )
+        for i in range(n_requests)
+    ]

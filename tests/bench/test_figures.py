@@ -5,7 +5,6 @@ the qualitative claims on the cheaper experiments so plain ``pytest tests``
 already guards the reproduction contract.
 """
 
-import math
 
 import pytest
 

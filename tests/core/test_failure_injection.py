@@ -9,7 +9,7 @@ group scales, and mismatched kernel configurations must refuse to run.
 import numpy as np
 import pytest
 
-from repro.core.attention import BitDecoding, BitKVCache
+from repro.core.attention import BitDecoding
 from repro.core.config import BitDecodingConfig
 from repro.core.quantization import quantize
 

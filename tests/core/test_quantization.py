@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core.quantization import (
     E2M1_VALUES,
-    Fp4Params,
     QuantScheme,
     dequantize,
     fp4_storage_bits_per_value,

@@ -12,7 +12,7 @@ from repro.core.residual_kernel import (
     build_residual_launch,
     flush_block,
 )
-from repro.core.softmax import OnlineSoftmaxState, reference_attention
+from repro.core.softmax import reference_attention
 from repro.gpu.kernel import simulate_kernel
 
 

@@ -4,8 +4,6 @@ import pytest
 
 from repro.gpu.instructions import (
     LDMATRIX_X4_BYTES,
-    MMA_FP4_M16N8K32,
-    MMA_M16N8K8,
     MMA_M16N8K16,
     MMA_SHAPES,
     WGMMA_M64N64K16,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu.kernel import KernelLaunch, KernelResult, simulate_kernel, sum_results
+from repro.gpu.kernel import KernelLaunch, simulate_kernel, sum_results
 from repro.gpu.trace import OpTrace
 
 

@@ -1,6 +1,5 @@
 """OpTrace accounting invariants (including hypothesis properties)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -6,6 +6,13 @@ from repro.baselines.flash_decoding import FlashDecodingV2
 from repro.core.attention import BitDecoding
 from repro.core.config import BitDecodingConfig
 from repro.model.config import LLAMA2_7B, LLAMA31_8B, LLAMA31_70B
+from repro.model.inference import prefill_time_ms
+from repro.model.memory import (
+    page_bytes,
+    page_pool_size,
+    pages_in_budget,
+    residual_bytes_per_seq,
+)
 from repro.model.serving import (
     CacheFormat,
     ServingOOMError,
@@ -69,6 +76,59 @@ class TestCapacity:
     def test_multi_gpu_divides_footprint(self, a100):
         assert not fits(LLAMA31_70B, a100, fp16_format(), 1, 32768, n_gpus=1)
         assert fits(LLAMA31_70B, a100, fp16_format(), 1, 32768, n_gpus=8)
+
+
+class TestSharedMemoryAccounting:
+    """The static model and the serving engine share one byte code path."""
+
+    def test_residual_window_costs_memory(self):
+        plain = int_format(2, LLAMA31_8B)
+        windowed = int_format(2, LLAMA31_8B, residual_window=64)
+        assert residual_bytes_per_seq(LLAMA31_8B, plain) == 0
+        assert residual_bytes_per_seq(LLAMA31_8B, windowed) == pytest.approx(
+            64 * LLAMA31_8B.kv_bytes_per_token(16.0)
+        )
+        assert memory_required_bytes(LLAMA31_8B, windowed, 8, 1024) > (
+            memory_required_bytes(LLAMA31_8B, plain, 8, 1024)
+        )
+
+    def test_page_pool_orders_by_bits(self, a100):
+        fp16 = page_pool_size(LLAMA31_8B, a100, fp16_format())
+        int4 = page_pool_size(LLAMA31_8B, a100, int_format(4, LLAMA31_8B))
+        int2 = page_pool_size(LLAMA31_8B, a100, int_format(2, LLAMA31_8B))
+        assert fp16 > 0
+        assert int4 > 3 * fp16
+        assert int2 > int4
+
+    def test_reserved_seqs_shrink_pool(self, a100):
+        fmt = int_format(4, LLAMA31_8B, residual_window=64)
+        free = page_pool_size(LLAMA31_8B, a100, fmt)
+        reserved = page_pool_size(LLAMA31_8B, a100, fmt, reserved_seqs=256)
+        assert 0 < reserved < free
+
+    def test_pool_empty_when_weights_exceed_memory(self, rtx4090):
+        assert page_pool_size(LLAMA31_70B, rtx4090, fp16_format()) == 0
+
+    def test_pages_in_budget_matches_page_bytes(self):
+        fmt = fp16_format()
+        per_page = page_bytes(LLAMA31_8B, fmt, 64)
+        assert pages_in_budget(LLAMA31_8B, fmt, 64, 10 * per_page) == 10
+
+    def test_multi_gpu_pool_matches_static_model(self, a100):
+        """The engine's sharded page pool and the static max-batch model
+        must describe the same capacity (70B only fits on 8 GPUs)."""
+        fmt = fp16_format()
+        seq_len = 32768
+        pool_pages = page_pool_size(LLAMA31_70B, a100, fmt, page_size=64, n_gpus=8)
+        pool_tokens = pool_pages * 64
+        static_tokens = max_batch_size(LLAMA31_70B, a100, fmt, seq_len, n_gpus=8) * seq_len
+        assert static_tokens > 0
+        assert static_tokens <= pool_tokens < static_tokens + 2 * seq_len
+
+    def test_prefill_time_grows_superlinearly(self, a100):
+        short = prefill_time_ms(LLAMA31_8B, a100, 1024)
+        long = prefill_time_ms(LLAMA31_8B, a100, 16384)
+        assert long > 16 * short  # attention term is quadratic
 
 
 class TestThroughput:

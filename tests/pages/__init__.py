@@ -1,0 +1,1 @@
+"""BitDecoding reproduction test suite (tests/pages)."""

@@ -51,6 +51,22 @@ class TestPageTable:
         table.release_sequence(sid)
         assert alloc.free_pages == 8
 
+    def test_released_ids_are_recycled(self):
+        alloc = PageAllocator(8)
+        table = PageTable(alloc, page_size=4)
+        first = table.add_sequence(initial_length=4)
+        table.release_sequence(first)
+        second = table.add_sequence(initial_length=4)
+        assert second == first
+        assert len(table.sequences) == 1  # bounded by peak concurrency
+
+    def test_double_release_raises(self):
+        table = PageTable(PageAllocator(8), page_size=4)
+        sid = table.add_sequence(initial_length=4)
+        table.release_sequence(sid)
+        with pytest.raises(ValueError):
+            table.release_sequence(sid)
+
     def test_oom_on_add(self):
         table = PageTable(PageAllocator(2), page_size=4)
         with pytest.raises(OutOfPagesError):

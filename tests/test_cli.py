@@ -29,6 +29,27 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Marlin" in out
 
+    def test_serve_sim(self, capsys):
+        main([
+            "serve-sim", "--requests", "6", "--rate", "100",
+            "--prompt-len", "512", "--output-len", "16",
+        ])
+        out = capsys.readouterr().out
+        for token in ("FP16", "INT4", "INT2", "peak batch", "tok/s"):
+            assert token in out
+
+    def test_serve_sim_step_cap_and_json(self, capsys):
+        import json
+
+        main([
+            "serve-sim", "--requests", "6", "--rate", "100",
+            "--prompt-len", "512", "--output-len", "64",
+            "--steps", "5", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["format_name"] for r in payload["reports"]] == ["FP16", "INT4", "INT2"]
+        assert all(r["decode_steps"] <= 5 for r in payload["reports"])
+
     def test_unknown_experiment_exits(self, capsys):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
