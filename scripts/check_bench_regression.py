@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fail CI when serving throughput drops.
+
+Compares a freshly emitted ``BENCH_serving.json`` (see
+``benchmarks/bench_serving_engine.py``) against the committed
+``benchmarks/baseline.json``.  The simulation is fully deterministic —
+seeded trace, analytic latency model — so any movement is a real code
+change, not machine noise, and a tight threshold is safe.
+
+Gated: per-format sustained tokens/s must not drop more than
+``--threshold`` (default 10%) below baseline, and no baseline format may
+disappear.  Reported but not gated: p99 TBT and p99 TTFT shifts, because
+the chunked-prefill knob deliberately trades one against the other.
+
+Exit status is non-zero on any gated regression, which is what CI's
+``bench`` job gates on.  When a throughput change is intentional, refresh
+the baseline::
+
+    python benchmarks/bench_serving_engine.py --fast --prefill-chunk 512 \\
+        --out benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.10
+
+
+def _pct(current: float | None, base: float | None) -> str:
+    if current is None or not base:
+        return "n/a"
+    return f"{(current / base - 1.0) * 100.0:+.1f}%"
+
+
+def compare(current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD) -> list[str]:
+    """Return the list of gated failures (empty means the gate passes)."""
+    failures: list[str] = []
+    cur_formats = current.get("formats", {})
+    for name, base in sorted(baseline.get("formats", {}).items()):
+        cur = cur_formats.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current results")
+            continue
+        base_tps = base["tokens_per_s"]
+        cur_tps = cur["tokens_per_s"]
+        print(
+            f"{name}: {cur_tps:.1f} tok/s vs baseline {base_tps:.1f} "
+            f"({_pct(cur_tps, base_tps)}), "
+            f"p99 TBT {_pct(cur.get('p99_tbt_s'), base.get('p99_tbt_s'))}, "
+            f"p99 TTFT {_pct(cur.get('p99_ttft_s'), base.get('p99_ttft_s'))}"
+        )
+        if cur_tps < base_tps * (1.0 - threshold):
+            drop = (1.0 - cur_tps / base_tps) * 100.0
+            failures.append(
+                f"{name}: tokens/s dropped {drop:.1f}% "
+                f"({base_tps:.1f} -> {cur_tps:.1f}, threshold {threshold * 100:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh BENCH_serving.json")
+    parser.add_argument("baseline", help="committed benchmarks/baseline.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max fractional tokens/s drop before failing (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.current) as fh:
+        current = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    failures = compare(current, baseline, args.threshold)
+    if failures:
+        print()
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    print("benchmark gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

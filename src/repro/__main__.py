@@ -129,6 +129,7 @@ def _cmd_serve_sim(args) -> None:
             max_batch=args.max_batch,
             n_gpus=args.n_gpus,
             max_steps=args.steps,
+            prefill_chunk_tokens=args.prefill_chunk,
         )
     except (KeyError, ValueError, ServingOOMError) as err:
         message = err.args[0] if err.args else err
@@ -141,12 +142,16 @@ def _cmd_serve_sim(args) -> None:
             "requests": args.requests,
             "rate_rps": args.rate,
             "seed": args.seed,
+            "prefill_chunk_tokens": args.prefill_chunk,
             "reports": [r.to_dict() for r in reports],
         }, indent=2))
         return
 
-    def fmt_s(value) -> str:
-        return f"{value:10.2f}" if value is not None else f"{'-':>10}"
+    def fmt_s(value, width=10) -> str:
+        return f"{value:{width}.2f}" if value is not None else f"{'-':>{width}}"
+
+    def fmt_ms(value, width=9) -> str:
+        return f"{value * 1e3:{width}.1f}" if value is not None else f"{'-':>{width}}"
 
     print(
         f"serve-sim: {model.name} on {arch.name} | {args.requests} requests, "
@@ -156,19 +161,26 @@ def _cmd_serve_sim(args) -> None:
         f"prompt {args.prompt_len} tok, output {args.output_len} tok, "
         f"page {args.page_size} tok, max batch {args.max_batch}"
         + (f", step cap {args.steps}" if args.steps else "")
+        + (
+            f", chunked prefill {args.prefill_chunk} tok/step"
+            if args.prefill_chunk
+            else ", whole-prompt prefill"
+        )
     )
     header = (
-        f"{'format':<6} {'pages':>7} {'peak batch':>10} {'preempt':>8} {'done':>5} "
-        f"{'tok/s':>9} {'p50 lat s':>10} {'p99 lat s':>10}"
+        f"{'format':<6} {'pages':>7} {'peak':>5} {'preempt':>8} {'done':>5} "
+        f"{'tok/s':>9} {'p50 ttft s':>10} {'p99 ttft s':>10} "
+        f"{'p99 tbt ms':>10} {'p99 lat s':>10}"
     )
     print()
     print(header)
     print("-" * len(header))
     for r in reports:
         print(
-            f"{r.format_name:<6} {r.n_pages:>7} {r.peak_resident_batch:>10} "
+            f"{r.format_name:<6} {r.n_pages:>7} {r.peak_resident_batch:>5} "
             f"{r.preemptions:>8} {r.completed:>5} {r.sustained_tokens_per_s:>9.1f} "
-            f"{fmt_s(r.p50_latency_s)} {fmt_s(r.p99_latency_s)}"
+            f"{fmt_s(r.p50_ttft_s)} {fmt_s(r.p99_ttft_s)} "
+            f"{fmt_ms(r.p99_tbt_s, 10)} {fmt_s(r.p99_latency_s)}"
         )
 
 
@@ -199,6 +211,12 @@ def main(argv=None) -> None:
     serve.add_argument("--residual-window", type=int, default=64)
     serve.add_argument("--n-gpus", type=int, default=1)
     serve.add_argument("--steps", type=int, default=None, help="scheduler step cap")
+    serve.add_argument(
+        "--prefill-chunk",
+        type=int,
+        default=None,
+        help="chunked-prefill token budget per step (None = whole-prompt prefill)",
+    )
     serve.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
 

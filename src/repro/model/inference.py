@@ -10,6 +10,12 @@ One decode step of a transformer =
 - **fixed overheads** — per-layer launch/dispatch not already counted in
   the attention kernel, and tensor-parallel all-reduces for multi-GPU.
 
+The serving engine additionally prices *mixed* steps
+(:func:`mixed_step_ms`): a Sarathi/vLLM-style scheduler quantum that
+carries prefill-chunk tokens and decode tokens through the same forward
+pass, so chunked prefill costs what its token composition says rather
+than one-or-the-other.
+
 The attention-system protocol is duck-typed: anything with
 ``decode_time_ms(geom)`` works (every kernel class in this repo does).
 """
@@ -17,7 +23,7 @@ The attention-system protocol is duck-typed: anything with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Protocol, Sequence, Tuple
 
 from repro.core.config import AttentionGeometry
 from repro.gpu.arch import ArchSpec
@@ -52,9 +58,7 @@ class DecodeStepBreakdown:
         return self.weights_ms + self.attention_ms + self.overhead_ms + self.comm_ms
 
 
-def weight_gemm_ms(
-    model: ModelConfig, arch: ArchSpec, batch: int, n_gpus: int = 1
-) -> float:
+def weight_gemm_ms(model: ModelConfig, arch: ArchSpec, batch: int, n_gpus: int = 1) -> float:
     """Per-step weight-GEMM time: max(memory roofline, compute roofline)."""
     if batch <= 0 or n_gpus <= 0:
         raise ValueError("batch and n_gpus must be positive")
@@ -63,6 +67,37 @@ def weight_gemm_ms(
     flops = 2.0 * model.param_count * batch / n_gpus
     t_compute = flops / arch.tc_flops_per_s("fp16")
     return max(t_mem, t_compute) * 1e3
+
+
+def _fixed_overhead_ms(model: ModelConfig, arch: ArchSpec) -> float:
+    """Per-step launch/dispatch overhead not counted in the kernels."""
+    return model.n_layers * _AUX_LAUNCHES_PER_LAYER * arch.kernel_launch_us * 1e-3
+
+
+def _allreduce_ms(model: ModelConfig, tokens: int, n_gpus: int) -> float:
+    """Tensor-parallel all-reduce tax for one step over ``tokens`` tokens."""
+    if n_gpus <= 1:
+        return 0.0
+    bytes_per_layer = 2.0 * tokens * model.hidden * 2.0  # two all-reduces
+    return model.n_layers * (
+        bytes_per_layer / (_NVLINK_BW_GBS * 1e9) * 1e3 + _ALLREDUCE_LATENCY_US * 1e-3
+    )
+
+
+def prefill_attention_flops(model: ModelConfig, context_len: int, chunk_tokens: int) -> float:
+    """Causal-attention Tensor-Core FLOPs of one prefill chunk.
+
+    A chunk of ``chunk_tokens`` new tokens attends to ``context_len``
+    already-cached tokens plus its own causal prefix (QK^T + PV are two
+    GEMMs at 2 FLOPs per MAC, causality halves the in-chunk square).  The
+    count telescopes exactly: summed over any chunking of a prompt it
+    equals the whole-prompt ``2 * d * L^2`` total, so chunking pays no
+    phantom attention FLOPs — only the per-step overheads it really adds.
+    """
+    if context_len < 0 or chunk_tokens < 0:
+        raise ValueError("context_len and chunk_tokens must be non-negative")
+    macs = chunk_tokens * context_len + chunk_tokens**2 / 2.0
+    return model.n_layers * model.hq * 4.0 * model.head_dim * macs
 
 
 def decode_step_breakdown(
@@ -77,16 +112,8 @@ def decode_step_breakdown(
     geom = model.attention_geometry(batch, seq_len)
     attn_ms = model.n_layers * attention.decode_time_ms(geom)
     weights_ms = weight_gemm_ms(model, arch, batch, n_gpus)
-    overhead_ms = (
-        model.n_layers * _AUX_LAUNCHES_PER_LAYER * arch.kernel_launch_us * 1e-3
-    )
-    comm_ms = 0.0
-    if n_gpus > 1:
-        bytes_per_layer = 2.0 * batch * model.hidden * 2.0  # two all-reduces
-        comm_ms = model.n_layers * (
-            bytes_per_layer / (_NVLINK_BW_GBS * 1e9) * 1e3
-            + _ALLREDUCE_LATENCY_US * 1e-3
-        )
+    overhead_ms = _fixed_overhead_ms(model, arch)
+    comm_ms = _allreduce_ms(model, batch, n_gpus)
     return DecodeStepBreakdown(
         weights_ms=weights_ms,
         attention_ms=attn_ms,
@@ -135,9 +162,87 @@ def prefill_time_ms(
     if prompt_len <= 0:
         raise ValueError("prompt_len must be positive")
     gemm_ms = weight_gemm_ms(model, arch, batch=prompt_len, n_gpus=n_gpus)
-    attn_flops = model.n_layers * model.hq * 2.0 * model.head_dim * float(prompt_len) ** 2
+    attn_flops = prefill_attention_flops(model, 0, prompt_len)
     attn_ms = attn_flops / (arch.tc_flops_per_s("fp16") * n_gpus) * 1e3
     return gemm_ms + attn_ms
+
+
+@dataclass
+class MixedStepBreakdown:
+    """Latency components of one mixed prefill+decode step (milliseconds)."""
+
+    weights_ms: float
+    attention_ms: float
+    overhead_ms: float
+    comm_ms: float
+    prefill_tokens: int
+    decode_tokens: int
+
+    @property
+    def total_ms(self) -> float:
+        return self.weights_ms + self.attention_ms + self.overhead_ms + self.comm_ms
+
+
+def mixed_step_breakdown(
+    model: ModelConfig,
+    arch: ArchSpec,
+    attention: AttentionSystem,
+    decode_batch: int,
+    decode_seq_len: int,
+    prefill_chunks: Sequence[Tuple[int, int]],
+    n_gpus: int = 1,
+) -> MixedStepBreakdown:
+    """Price one scheduler step by its token composition.
+
+    ``prefill_chunks`` is one ``(context_len, chunk_tokens)`` pair per
+    in-flight prefill advanced this step; ``decode_batch`` sequences emit
+    one token each against a cache of up to ``decode_seq_len`` tokens.
+    The weight GEMMs see the *combined* token count (the whole point of
+    mixing: prefill chunks ride the weight stream the decode batch already
+    pays for), attention is the sum of the decode kernel and the chunks'
+    causal Tensor-Core FLOPs, and the fixed overheads are charged once per
+    step rather than once per phase.
+
+    A step with no prefill chunks prices identically to
+    :func:`decode_step_breakdown` — whole-prompt and chunked scheduling
+    share one cost model and differ only in composition.
+    """
+    prefill_tokens = sum(chunk for _, chunk in prefill_chunks)
+    if decode_batch < 0:
+        raise ValueError("decode_batch must be non-negative")
+    total_tokens = decode_batch + prefill_tokens
+    if total_tokens <= 0:
+        raise ValueError("a mixed step must process at least one token")
+    weights_ms = weight_gemm_ms(model, arch, batch=total_tokens, n_gpus=n_gpus)
+    attn_ms = 0.0
+    if decode_batch > 0:
+        geom = model.attention_geometry(decode_batch, decode_seq_len)
+        attn_ms += model.n_layers * attention.decode_time_ms(geom)
+    if prefill_chunks:
+        flops = sum(prefill_attention_flops(model, ctx, chunk) for ctx, chunk in prefill_chunks)
+        attn_ms += flops / (arch.tc_flops_per_s("fp16") * n_gpus) * 1e3
+    return MixedStepBreakdown(
+        weights_ms=weights_ms,
+        attention_ms=attn_ms,
+        overhead_ms=_fixed_overhead_ms(model, arch),
+        comm_ms=_allreduce_ms(model, total_tokens, n_gpus),
+        prefill_tokens=prefill_tokens,
+        decode_tokens=decode_batch,
+    )
+
+
+def mixed_step_ms(
+    model: ModelConfig,
+    arch: ArchSpec,
+    attention: AttentionSystem,
+    decode_batch: int,
+    decode_seq_len: int,
+    prefill_chunks: Sequence[Tuple[int, int]],
+    n_gpus: int = 1,
+) -> float:
+    return mixed_step_breakdown(
+        model, arch, attention, decode_batch, decode_seq_len, prefill_chunks, n_gpus
+    ).total_ms
 
 
 def generation_latency_s(

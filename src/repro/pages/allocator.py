@@ -36,9 +36,7 @@ class PageAllocator:
     def allocate(self) -> int:
         """Take one page; raises :class:`OutOfPagesError` when exhausted."""
         if not self._free:
-            raise OutOfPagesError(
-                f"all {self.n_pages} pages in use; cannot grow the KV cache"
-            )
+            raise OutOfPagesError(f"all {self.n_pages} pages in use; cannot grow the KV cache")
         page = self._free.pop()
         self._used.add(page)
         return page
@@ -48,9 +46,7 @@ class PageAllocator:
         if count < 0:
             raise ValueError("count must be non-negative")
         if count > len(self._free):
-            raise OutOfPagesError(
-                f"requested {count} pages but only {len(self._free)} free"
-            )
+            raise OutOfPagesError(f"requested {count} pages but only {len(self._free)} free")
         return [self.allocate() for _ in range(count)]
 
     def free(self, page: int) -> None:

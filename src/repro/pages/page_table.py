@@ -70,6 +70,26 @@ class PageTable:
             seq.pages.append(self.allocator.allocate())
         seq.length += 1
 
+    def extend_sequence(self, seq_id: int, n_tokens: int) -> None:
+        """Grow a sequence by ``n_tokens`` (one prefill chunk) atomically.
+
+        Every page the extension needs is taken in one all-or-nothing
+        allocation, so an ``OutOfPagesError`` leaves the sequence exactly
+        as it was — a preempting caller can pick a victim and retry, and a
+        mid-prefill preemption releases precisely the pages reserved so
+        far, never pages from a half-applied chunk.
+        """
+        if n_tokens < 0:
+            raise ValueError("n_tokens must be non-negative")
+        if seq_id in self._free_ids:
+            raise ValueError(f"sequence {seq_id} is released")
+        seq = self.sequences[seq_id]
+        target = seq.length + n_tokens
+        n_pages = -(-target // self.page_size) - len(seq.pages)
+        if n_pages > 0:
+            seq.pages.extend(self.allocator.allocate_many(n_pages))
+        seq.length = target
+
     def release_sequence(self, seq_id: int) -> None:
         """Free all pages of a finished sequence and recycle its id."""
         if seq_id in self._free_ids:

@@ -8,6 +8,11 @@ pages from the same device memory, hold more resident sequences, and
 sustain higher throughput at lower tail latency — the Figs. 12b/13 chain
 of effects, end to end.
 
+With ``prefill_chunk_tokens`` set, the scheduler switches from whole-prompt
+admission to Sarathi/vLLM-style chunked prefill: prompts advance one token
+quantum per step, batched with resident decode tokens into mixed steps, so
+a 32k-token prompt no longer head-of-line blocks every in-flight decode.
+
 Quickstart::
 
     from repro.gpu.arch import get_arch
@@ -26,18 +31,18 @@ Or from the command line: ``python -m repro serve-sim``.
 from repro.serving.engine import (
     ContinuousBatchingEngine,
     EngineConfig,
-    RequestLifecycle,
     compare_formats,
 )
 from repro.serving.formats import paper_serving_stacks
 from repro.serving.report import ServingReport
-from repro.serving.request import Request, poisson_trace
+from repro.serving.request import Phase, Request, RequestLifecycle, poisson_trace
 
 __all__ = [
     "ContinuousBatchingEngine",
     "EngineConfig",
-    "RequestLifecycle",
+    "Phase",
     "Request",
+    "RequestLifecycle",
     "ServingReport",
     "compare_formats",
     "paper_serving_stacks",

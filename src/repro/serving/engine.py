@@ -11,22 +11,36 @@ Mechanics (the vLLM/QServe-style loop, one simulation step at a time):
   the page pool can hold its context, charged a prefill step
   (:func:`repro.model.inference.prefill_time_ms`).  Admission does not
   skip over a blocked head — that keeps the discipline starvation-free.
+- **Chunked prefill** (``EngineConfig.prefill_chunk_tokens``, the
+  Sarathi/vLLM discipline) replaces whole-prompt admission: each step
+  spends at most one token-budget quantum on in-flight prefills, reserving
+  pages chunk by chunk, and batches those chunks *with* the resident
+  decode tokens into one mixed step priced by
+  :func:`repro.model.inference.mixed_step_ms`.  Long prompts stop
+  head-of-line blocking decodes (p99 time-between-tokens collapses) at the
+  cost of their own time-to-first-token.
 - **Decode** advances every resident sequence by one token.  Token growth
   allocates pages through the shared
   :class:`~repro.pages.page_table.PageTable`; when the
   :class:`~repro.pages.allocator.PageAllocator` runs dry the engine
-  preempts the most recently admitted sequence, releases all its pages,
-  and requeues it at the front of the wait queue (recompute-style: its
-  generated-token count is kept, its KV is rebuilt on re-admission).
+  preempts the most recently admitted sequence — decoding or mid-prefill —
+  releases exactly the pages it had reserved so far, and requeues it at
+  the front of the wait queue (recompute-style: its generated-token count
+  is kept, its KV is rebuilt on re-admission).
 - **Step timing** comes from the existing end-to-end latency model
-  (:func:`repro.model.inference.decode_step_ms`) with whichever
-  duck-typed attention system matches the cache format, so FP16 vs INT4
-  vs INT2 runs differ exactly where the paper says they do: page-pool
-  capacity and attention kernel time.
+  (:func:`repro.model.inference.decode_step_ms` /
+  :func:`repro.model.inference.mixed_step_ms`) with whichever duck-typed
+  attention system matches the cache format, so FP16 vs INT4 vs INT2 runs
+  differ exactly where the paper says they do: page-pool capacity and
+  attention kernel time.
 
 The page pool is sized from the *same* byte accounting the static model
 uses (:func:`repro.model.memory.page_pool_size`), which is what makes
-"equal memory, different bit width" a fair comparison.
+"equal memory, different bit width" a fair comparison.  After every step
+the engine checks page conservation — the pages held by resident
+sequences must equal the allocator's used count — so scheduling bugs
+(double releases, leaked mid-prefill reservations) fail loudly instead of
+skewing the comparison.
 """
 
 from __future__ import annotations
@@ -37,13 +51,26 @@ from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.gpu.arch import ArchSpec
 from repro.model.config import ModelConfig
-from repro.model.inference import AttentionSystem, decode_step_ms, prefill_time_ms
+from repro.model.inference import (
+    AttentionSystem,
+    decode_step_ms,
+    mixed_step_ms,
+    prefill_time_ms,
+)
 from repro.model.memory import CacheFormat, page_pool_size
 from repro.model.serving import ServingOOMError
 from repro.pages.allocator import OutOfPagesError, PageAllocator
 from repro.pages.page_table import PageTable
 from repro.serving.report import ServingReport
-from repro.serving.request import Request
+from repro.serving.request import Phase, Request, RequestLifecycle
+
+__all__ = [
+    "ContinuousBatchingEngine",
+    "EngineConfig",
+    "Phase",
+    "RequestLifecycle",
+    "compare_formats",
+]
 
 
 @dataclass
@@ -64,6 +91,10 @@ class EngineConfig:
     #: Cap on scheduler iterations (one admission phase + one decode step
     #: each); None runs the trace to completion.
     max_steps: Optional[int] = None
+    #: Token budget one scheduler step spends on prefill (vLLM/Sarathi
+    #: chunked prefill).  None keeps whole-prompt admission: a prompt is
+    #: prefilled in one step, head-of-line blocking resident decodes.
+    prefill_chunk_tokens: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.page_size <= 0:
@@ -72,29 +103,8 @@ class EngineConfig:
             raise ValueError("max_batch must be positive")
         if self.n_gpus <= 0:
             raise ValueError("n_gpus must be positive")
-
-
-@dataclass
-class RequestLifecycle:
-    """Mutable scheduler-side state of one request."""
-
-    request: Request
-    seq_id: Optional[int] = None
-    generated: int = 0
-    admitted_s: Optional[float] = None
-    first_token_s: Optional[float] = None
-    finish_s: Optional[float] = None
-    preemptions: int = 0
-    rejected: bool = False
-
-    @property
-    def context_len(self) -> int:
-        """Tokens the KV cache must hold before the next decode step."""
-        return self.request.prompt_len + self.generated
-
-    @property
-    def finished(self) -> bool:
-        return self.finish_s is not None
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens <= 0:
+            raise ValueError("prefill_chunk_tokens must be positive (or None)")
 
 
 class ContinuousBatchingEngine:
@@ -130,31 +140,39 @@ class ContinuousBatchingEngine:
         self._steps = 0
         self._prefill_steps = 0
         self._decode_steps = 0
+        self._mixed_steps = 0
         self._preemptions = 0
         self._total_generated = 0
         self._peak_resident = 0
+        self._tbt_samples: List[float] = []
 
     # ------------------------------------------------------------- scheduling
 
     def _pages_needed(self, tokens: int) -> int:
         return -(-tokens // self.config.page_size)
 
+    def _reject_impossible(self, head: RequestLifecycle) -> bool:
+        """Reject a request that could never finish with the pool to itself;
+        admitting it would only preempt-thrash."""
+        if self._pages_needed(head.request.total_len) > self.n_pages:
+            head.rejected = True
+            self._queue.popleft()
+            return True
+        return False
+
     def _admit(self) -> None:
         """FCFS admission: prefill queued requests while pages + slots last."""
         cfg = self.config
         while self._queue and len(self._running) < cfg.max_batch:
             head = self._queue[0]
-            if self._pages_needed(head.request.total_len) > self.n_pages:
-                # Could never finish, even with the pool to itself; admitting
-                # it would only preempt-thrash, so reject it outright.
-                head.rejected = True
-                self._queue.popleft()
+            if self._reject_impossible(head):
                 continue
             need = self._pages_needed(head.context_len)
             if need > self.allocator.free_pages:
                 break
             self._queue.popleft()
             head.seq_id = self.table.add_sequence(head.context_len)
+            head.prefilled = head.prefill_target = head.context_len
             if head.admitted_s is None:
                 head.admitted_s = self._clock
             self._clock += (
@@ -165,11 +183,50 @@ class ContinuousBatchingEngine:
             self._running.append(head)
         self._peak_resident = max(self._peak_resident, len(self._running))
 
+    def _admit_chunked(self) -> None:
+        """Chunked admission: commit to a context, reserve pages per chunk.
+
+        Physical pages arrive lazily (one chunk at a time), but admission
+        still gates on the same budget whole-prompt admission does: the
+        contexts the running set has *committed* to plus the head's full
+        context must fit the pool.  Without that gate every arrival would
+        join the batch and page pressure would surface as preempt-thrash
+        instead of queueing — and the per-format peak-resident numbers
+        (the paper's "lower bits, more residents" chain) would be
+        meaningless.  Admission itself charges no time; the prefill cost
+        lands in the mixed steps that actually move tokens.
+        """
+        cfg = self.config
+        committed = sum(self._pages_needed(lc.context_len) for lc in self._running)
+        while self._queue and len(self._running) < cfg.max_batch:
+            head = self._queue[0]
+            if self._reject_impossible(head):
+                continue
+            need = self._pages_needed(head.context_len)
+            if committed + need > self.n_pages:
+                break
+            self._queue.popleft()
+            head.seq_id = self.table.add_sequence(0)
+            head.prefilled = 0
+            head.prefill_target = head.context_len
+            if head.admitted_s is None:
+                head.admitted_s = self._clock
+            self._running.append(head)
+            committed += need
+        self._peak_resident = max(self._peak_resident, len(self._running))
+
     def _preempt(self, victim: RequestLifecycle) -> None:
-        """Release a sequence's pages and requeue it for recompute."""
+        """Release a sequence's pages and requeue it for recompute.
+
+        Works mid-prefill too: the page table holds exactly the pages of
+        the chunks written so far (chunk extension is all-or-nothing), so
+        releasing the sequence frees precisely that reservation.
+        """
         assert victim.seq_id is not None
         self.table.release_sequence(victim.seq_id)
         victim.seq_id = None
+        victim.prefilled = 0
+        victim.prefill_target = 0
         victim.preemptions += 1
         self._preemptions += 1
         self._running.remove(victim)
@@ -181,10 +238,20 @@ class ContinuousBatchingEngine:
 
     def _grow(self, lc: RequestLifecycle) -> bool:
         """Make room for one more token; False if ``lc`` itself got evicted."""
+        return self._extend(lc, 1)
+
+    def _extend(self, lc: RequestLifecycle, n_tokens: int) -> bool:
+        """Grow ``lc`` by a chunk (or one decode token), evicting on demand.
+
+        Chunk extension is all-or-nothing in the page table, so each retry
+        either fully reserves the chunk or preempts the most recently
+        admitted sequence and tries again; False means ``lc`` itself was
+        the youngest resident and got evicted.
+        """
         assert lc.seq_id is not None
         while True:
             try:
-                self.table.append_token(lc.seq_id)
+                self.table.extend_sequence(lc.seq_id, n_tokens)
                 return True
             except OutOfPagesError:
                 victim = self._running[-1]  # most recently admitted
@@ -192,6 +259,49 @@ class ContinuousBatchingEngine:
                 self._preempt(victim)
                 if evicted_self:
                     return False
+
+    def _advance_prefills(self) -> List[Tuple[int, int]]:
+        """Spend this step's token budget on in-flight prefills (FCFS).
+
+        Returns the ``(context_len, chunk_tokens)`` descriptors of the
+        chunks written, which is exactly what the mixed-step latency model
+        prices.  A chunk whose sequence is later evicted in the same step
+        stays in the list: the work was done before the eviction, and
+        recompute discipline pays for wasted work.
+        """
+        budget = self.config.prefill_chunk_tokens
+        assert budget is not None
+        chunks: List[Tuple[int, int]] = []
+        for lc in list(self._running):
+            if budget <= 0:
+                break
+            if lc.seq_id is None or lc.prefill_done:
+                continue
+            take = min(budget, lc.prefill_target - lc.prefilled)
+            if not self._extend(lc, take):
+                continue
+            chunks.append((lc.prefilled, take))
+            lc.prefilled += take
+            budget -= take
+        return chunks
+
+    def _emit_tokens(self, decoders: Sequence[RequestLifecycle]) -> None:
+        """Credit one generated token to each decoder at the current clock."""
+        for lc in decoders:
+            if lc.seq_id is None:
+                continue
+            lc.generated += 1
+            self._total_generated += 1
+            if lc.first_token_s is None:
+                lc.first_token_s = self._clock
+            else:
+                self._tbt_samples.append(self._clock - lc.last_token_s)
+            lc.last_token_s = self._clock
+            if lc.generated >= lc.request.output_len:
+                self.table.release_sequence(lc.seq_id)
+                lc.seq_id = None
+                lc.finish_s = self._clock
+                self._running.remove(lc)
 
     def _decode(self) -> None:
         """One decode step: every resident sequence emits one token."""
@@ -211,22 +321,61 @@ class ContinuousBatchingEngine:
         self._clock += step_s
         self._decode_steps += 1
         self._peak_resident = max(self._peak_resident, batch)
-        for lc in list(self._running):
-            lc.generated += 1
-            self._total_generated += 1
-            if lc.first_token_s is None:
-                lc.first_token_s = self._clock
-            if lc.generated >= lc.request.output_len:
-                assert lc.seq_id is not None
-                self.table.release_sequence(lc.seq_id)
-                lc.seq_id = None
-                lc.finish_s = self._clock
-                self._running.remove(lc)
+        self._emit_tokens(list(self._running))
+
+    def _mixed_step(self) -> None:
+        """One chunked-prefill step: prefill chunks + decode tokens together.
+
+        Sequences whose prefill completes this step start decoding on the
+        *next* step, mirroring whole-prompt admission where the first
+        output token comes from the first decode step after prefill.
+        """
+        cfg = self.config
+        decode_ready = [lc for lc in self._running if lc.prefill_done]
+        chunks = self._advance_prefills()
+        for lc in decode_ready:
+            if lc.seq_id is None:
+                continue  # preempted by a prefill extension or earlier grow
+            self._grow(lc)
+        decoders = [lc for lc in decode_ready if lc.seq_id is not None]
+        if not chunks and not decoders:
+            return
+        batch = len(decoders)
+        seq_len = max((lc.context_len + 1 for lc in decoders), default=0)
+        step_s = (
+            mixed_step_ms(cfg.model, cfg.arch, cfg.attention, batch, seq_len, chunks, cfg.n_gpus)
+            * 1e-3
+        )
+        self._clock += step_s
+        if chunks:
+            self._prefill_steps += 1
+        if decoders:
+            self._decode_steps += 1
+        if chunks and decoders:
+            self._mixed_steps += 1
+        self._peak_resident = max(self._peak_resident, len(self._running))
+        self._emit_tokens(decoders)
+
+    def _assert_conservation(self) -> None:
+        """Pages held by resident sequences must equal the allocator's books."""
+        held = sum(
+            len(self.table.sequences[lc.seq_id].pages)
+            for lc in self._running
+            if lc.seq_id is not None
+        )
+        used = self.allocator.used_pages
+        free = self.allocator.free_pages
+        if held != used or used + free != self.n_pages:
+            raise AssertionError(
+                f"page conservation violated: residents hold {held}, allocator "
+                f"says {used} used + {free} free of {self.n_pages}"
+            )
 
     # -------------------------------------------------------------------- run
 
     def run(self) -> ServingReport:
         """Drive the trace to completion (or the step cap) and report."""
+        chunked = self.config.prefill_chunk_tokens is not None
         pending: Deque[RequestLifecycle] = deque(self.lifecycles)
         while True:
             while pending and pending[0].request.arrival_s <= self._clock:
@@ -239,8 +388,13 @@ class ContinuousBatchingEngine:
             if self.config.max_steps is not None and self._steps >= self.config.max_steps:
                 break
             self._steps += 1
-            self._admit()
-            self._decode()
+            if chunked:
+                self._admit_chunked()
+                self._mixed_step()
+            else:
+                self._admit()
+                self._decode()
+            self._assert_conservation()
         return self._report()
 
     def _report(self) -> ServingReport:
@@ -265,6 +419,9 @@ class ContinuousBatchingEngine:
             peak_resident_batch=self._peak_resident,
             latencies_s=latencies,
             ttfts_s=ttfts,
+            tbts_s=self._tbt_samples,
+            mixed_steps=self._mixed_steps,
+            prefill_chunk_tokens=self.config.prefill_chunk_tokens,
         )
 
 
@@ -277,12 +434,15 @@ def compare_formats(
     max_batch: int = 384,
     n_gpus: int = 1,
     max_steps: Optional[int] = None,
+    prefill_chunk_tokens: Optional[int] = None,
 ) -> List[ServingReport]:
     """Run the same trace through several (format, attention) stacks.
 
     Every stack gets the page pool its format affords within the *same*
     device-memory budget — the lower-bit formats earn more pages, which is
-    the whole serving argument of the paper.
+    the whole serving argument of the paper.  ``prefill_chunk_tokens``
+    switches every stack to chunked prefill so on/off comparisons stay
+    apples-to-apples.
     """
     reports = []
     for fmt, attention in stacks:
@@ -296,6 +456,7 @@ def compare_formats(
                 max_batch=max_batch,
                 n_gpus=n_gpus,
                 max_steps=max_steps,
+                prefill_chunk_tokens=prefill_chunk_tokens,
             ),
             requests,
         )

@@ -4,6 +4,14 @@ The report carries exactly the quantities the paper's serving argument is
 about — sustained tokens/s, request-latency percentiles, and the peak
 resident batch the page pool supported — plus the scheduler counters
 (preemptions, rejections, step counts) the tests assert on.
+
+TTFT (time to first token) and TBT (time between tokens) are reported as
+separate percentile families because chunked prefill trades one for the
+other: splitting a long prompt into scheduler quanta stops it head-of-line
+blocking resident decodes (p99 TBT collapses) at the cost of the prompt's
+own first token arriving later (TTFT grows).  A single latency number
+would hide exactly the trade-off the ``prefill_chunk_tokens`` knob exists
+to tune.
 """
 
 from __future__ import annotations
@@ -27,12 +35,14 @@ class ServingReport:
     format_name: str
     n_pages: int
     page_size: int
+    prefill_chunk_tokens: Optional[int]
     n_requests: int
     completed: int
     rejected: int
     preemptions: int
     prefill_steps: int
     decode_steps: int
+    mixed_steps: int
     sim_time_s: float
     total_generated_tokens: int
     peak_resident_batch: int
@@ -40,6 +50,13 @@ class ServingReport:
     p50_latency_s: Optional[float]
     p99_latency_s: Optional[float]
     p50_ttft_s: Optional[float]
+    p99_ttft_s: Optional[float]
+    p50_tbt_s: Optional[float]
+    p99_tbt_s: Optional[float]
+    #: The single worst inter-token gap — the headline stall number.  A
+    #: p99 can miss a handful of giant whole-prompt stalls when decodes
+    #: outnumber admissions 100:1; the max never does.
+    max_tbt_s: Optional[float]
 
     @classmethod
     def build(
@@ -57,18 +74,23 @@ class ServingReport:
         peak_resident_batch: int,
         latencies_s: List[float],
         ttfts_s: List[float],
+        tbts_s: List[float],
+        mixed_steps: int = 0,
+        prefill_chunk_tokens: Optional[int] = None,
     ) -> "ServingReport":
         sustained = total_generated_tokens / sim_time_s if sim_time_s > 0 else 0.0
         return cls(
             format_name=format_name,
             n_pages=n_pages,
             page_size=page_size,
+            prefill_chunk_tokens=prefill_chunk_tokens,
             n_requests=n_requests,
             completed=len(latencies_s),
             rejected=rejected,
             preemptions=preemptions,
             prefill_steps=prefill_steps,
             decode_steps=decode_steps,
+            mixed_steps=mixed_steps,
             sim_time_s=sim_time_s,
             total_generated_tokens=total_generated_tokens,
             peak_resident_batch=peak_resident_batch,
@@ -76,6 +98,10 @@ class ServingReport:
             p50_latency_s=_percentile(latencies_s, 50.0),
             p99_latency_s=_percentile(latencies_s, 99.0),
             p50_ttft_s=_percentile(ttfts_s, 50.0),
+            p99_ttft_s=_percentile(ttfts_s, 99.0),
+            p50_tbt_s=_percentile(tbts_s, 50.0),
+            p99_tbt_s=_percentile(tbts_s, 99.0),
+            max_tbt_s=max(tbts_s) if tbts_s else None,
         )
 
     def to_dict(self) -> dict:

@@ -1,15 +1,22 @@
-"""Request model and traffic traces for the serving engine.
+"""Request model, lifecycle state machine, and traffic traces.
 
 A request is the unit the continuous-batching scheduler reasons about: it
 arrives at a point in time, carries a prompt that must be prefilled, and
-wants a fixed number of decoded tokens.  Traces are generated with a
-seeded Poisson process so every simulation is exactly reproducible.
+wants a fixed number of decoded tokens.  Its scheduler-side state walks a
+small machine (:class:`Phase`): QUEUED until admission, PREFILL while the
+prompt is being written into the page pool (whole-prompt admission jumps
+through this in one step; chunked prefill walks it a scheduler quantum at
+a time), DECODE until the last output token, then FINISHED — with
+REJECTED terminal for requests that could never fit the pool.  Traces are
+generated with a seeded Poisson process so every simulation is exactly
+reproducible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from enum import Enum
+from typing import List, Optional
 
 import numpy as np
 
@@ -33,6 +40,69 @@ class Request:
     def total_len(self) -> int:
         """Context length when the last output token has been decoded."""
         return self.prompt_len + self.output_len
+
+
+class Phase(Enum):
+    """Where a request stands in the scheduler's state machine."""
+
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    FINISHED = "finished"
+    REJECTED = "rejected"
+
+
+@dataclass
+class RequestLifecycle:
+    """Mutable scheduler-side state of one request.
+
+    ``prefilled`` tracks how many context tokens have been written into
+    the page pool toward ``prefill_target`` (set at admission to prompt
+    plus any previously generated tokens, so a recompute re-admission
+    re-prefills the full context).  Whole-prompt admission sets
+    ``prefilled = prefill_target`` immediately; chunked prefill advances
+    it one scheduler quantum per step.  Preemption clears ``seq_id`` and
+    resets ``prefilled`` — the generated-token count survives, which is
+    what makes recovery recompute-style rather than lossy.
+    """
+
+    request: Request
+    seq_id: Optional[int] = None
+    prefilled: int = 0
+    prefill_target: int = 0
+    generated: int = 0
+    admitted_s: Optional[float] = None
+    first_token_s: Optional[float] = None
+    last_token_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    preemptions: int = 0
+    rejected: bool = False
+
+    @property
+    def context_len(self) -> int:
+        """Tokens the KV cache must hold before the next decode step."""
+        return self.request.prompt_len + self.generated
+
+    @property
+    def prefill_done(self) -> bool:
+        """True once the resident context is fully written (decode-ready)."""
+        return self.seq_id is not None and self.prefilled >= self.prefill_target
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_s is not None
+
+    @property
+    def phase(self) -> Phase:
+        if self.rejected:
+            return Phase.REJECTED
+        if self.finished:
+            return Phase.FINISHED
+        if self.seq_id is None:
+            return Phase.QUEUED
+        if not self.prefill_done:
+            return Phase.PREFILL
+        return Phase.DECODE
 
 
 def _jittered(rng: np.random.Generator, base: int, jitter: float) -> int:

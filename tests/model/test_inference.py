@@ -11,6 +11,10 @@ from repro.model.inference import (
     decode_step_ms,
     decode_throughput_tokens_per_s,
     generation_latency_s,
+    mixed_step_breakdown,
+    mixed_step_ms,
+    prefill_attention_flops,
+    prefill_time_ms,
     weight_gemm_ms,
 )
 
@@ -62,6 +66,70 @@ class TestDecodeStep:
         t_fp16 = decode_step_ms(LLAMA31_8B, a100, fp16, batch=1, seq_len=131072)
         t_bd = decode_step_ms(LLAMA31_8B, a100, bd, batch=1, seq_len=131072)
         assert 1.3 < t_fp16 / t_bd < 4.0  # paper: ~3x at 128K
+
+
+class TestMixedStep:
+    def test_pure_decode_matches_decode_step(self, a100):
+        attn = FlashDecodingV2(a100)
+        mixed = mixed_step_ms(LLAMA31_8B, a100, attn, 8, 4096, prefill_chunks=[])
+        plain = decode_step_ms(LLAMA31_8B, a100, attn, batch=8, seq_len=4096)
+        assert mixed == pytest.approx(plain)
+
+    def test_chunk_attention_flops_telescope(self):
+        whole = prefill_attention_flops(LLAMA31_8B, 0, 4096)
+        chunked = sum(prefill_attention_flops(LLAMA31_8B, ctx, 512) for ctx in range(0, 4096, 512))
+        assert chunked == pytest.approx(whole)
+
+    def test_chunked_prefill_total_exceeds_whole_prompt(self, a100):
+        """Chunking repeats per-step overheads and loses weight-GEMM
+        efficiency, so the summed chunk steps cost more than one prefill —
+        the TTFT price of not head-of-line blocking."""
+        attn = FlashDecodingV2(a100)
+        whole = prefill_time_ms(LLAMA31_8B, a100, 4096)
+        chunked = sum(
+            mixed_step_ms(LLAMA31_8B, a100, attn, 0, 0, [(ctx, 512)])
+            for ctx in range(0, 4096, 512)
+        )
+        assert chunked > whole
+
+    def test_mixed_step_cheaper_than_stall(self, a100):
+        """One mixed step (chunk + decode batch) must cost far less than a
+        whole-prompt prefill — the inequality the TBT collapse rests on."""
+        attn = FlashDecodingV2(a100)
+        mixed = mixed_step_ms(LLAMA31_8B, a100, attn, 4, 8192, [(2048, 512)])
+        stall = prefill_time_ms(LLAMA31_8B, a100, 32768)
+        assert mixed < stall / 10
+
+    def test_breakdown_carries_composition(self, a100):
+        attn = FlashDecodingV2(a100)
+        bd = mixed_step_breakdown(LLAMA31_8B, a100, attn, 4, 8192, [(0, 512), (1024, 256)])
+        assert bd.prefill_tokens == 768
+        assert bd.decode_tokens == 4
+        assert bd.total_ms == pytest.approx(
+            bd.weights_ms + bd.attention_ms + bd.overhead_ms + bd.comm_ms
+        )
+        assert bd.comm_ms == 0  # single GPU
+
+    def test_weights_see_combined_tokens(self, a100):
+        attn = FlashDecodingV2(a100)
+        small = mixed_step_breakdown(LLAMA31_8B, a100, attn, 1, 1024, [(0, 64)])
+        large = mixed_step_breakdown(LLAMA31_8B, a100, attn, 1, 1024, [(0, 4096)])
+        assert large.weights_ms > small.weights_ms
+
+    def test_multi_gpu_comm_counts_all_tokens(self, a100):
+        attn = FlashDecodingV2(a100)
+        bd = mixed_step_breakdown(LLAMA31_70B, a100, attn, 2, 4096, [(0, 512)], n_gpus=8)
+        decode_only = decode_step_breakdown(LLAMA31_70B, a100, attn, 2, 4096, n_gpus=8)
+        assert bd.comm_ms > decode_only.comm_ms
+
+    def test_validation(self, a100):
+        attn = FlashDecodingV2(a100)
+        with pytest.raises(ValueError):
+            mixed_step_ms(LLAMA31_8B, a100, attn, 0, 0, [])
+        with pytest.raises(ValueError):
+            mixed_step_ms(LLAMA31_8B, a100, attn, -1, 128, [(0, 64)])
+        with pytest.raises(ValueError):
+            prefill_attention_flops(LLAMA31_8B, -1, 64)
 
 
 class TestThroughputAndGeneration:

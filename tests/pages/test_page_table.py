@@ -72,6 +72,42 @@ class TestPageTable:
         with pytest.raises(OutOfPagesError):
             table.add_sequence(initial_length=100)
 
+    def test_extend_sequence_allocates_ceiling(self):
+        alloc = PageAllocator(16)
+        table = PageTable(alloc, page_size=4)
+        sid = table.add_sequence(initial_length=3)
+        table.extend_sequence(sid, 6)  # 9 tokens -> 3 pages
+        assert table.sequences[sid].length == 9
+        assert len(table.sequences[sid].pages) == 3
+        table.extend_sequence(sid, 0)  # no-op chunk
+        assert alloc.used_pages == 3
+
+    def test_extend_sequence_oom_is_atomic(self):
+        alloc = PageAllocator(3)
+        table = PageTable(alloc, page_size=4)
+        sid = table.add_sequence(initial_length=4)
+        with pytest.raises(OutOfPagesError):
+            table.extend_sequence(sid, 12)  # needs 3 more pages, only 2 free
+        # The failed chunk left no partial reservation behind.
+        assert table.sequences[sid].length == 4
+        assert len(table.sequences[sid].pages) == 1
+        assert alloc.used_pages == 1
+        table.extend_sequence(sid, 8)  # retry that fits
+        assert table.sequences[sid].length == 12
+
+    def test_extend_released_sequence_raises(self):
+        table = PageTable(PageAllocator(8), page_size=4)
+        sid = table.add_sequence(initial_length=4)
+        table.release_sequence(sid)
+        with pytest.raises(ValueError):
+            table.extend_sequence(sid, 4)
+
+    def test_extend_negative_raises(self):
+        table = PageTable(PageAllocator(8), page_size=4)
+        sid = table.add_sequence(initial_length=4)
+        with pytest.raises(ValueError):
+            table.extend_sequence(sid, -1)
+
     def test_fragmentation(self):
         table = PageTable(PageAllocator(8), page_size=4)
         table.add_sequence(initial_length=5)  # 2 pages, 3 slots wasted

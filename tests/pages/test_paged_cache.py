@@ -70,7 +70,7 @@ class TestPagedProperty:
     @given(
         page_size=st.sampled_from([2, 4, 8]),
         lengths=st.lists(st.integers(1, 30), min_size=1, max_size=5),
-        seed=st.integers(0, 2 ** 31),
+        seed=st.integers(0, 2**31),
     )
     @settings(max_examples=30, deadline=None)
     def test_multi_sequence_isolation(self, page_size, lengths, seed):

@@ -1,0 +1,130 @@
+"""Benchmark regression gate (`scripts/check_bench_regression.py`)."""
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_bench_regression.py"
+
+
+def _load_checker():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _point(tokens_per_s):
+    return {
+        "tokens_per_s": tokens_per_s,
+        "p99_tbt_s": 0.03,
+        "p99_ttft_s": 20.0,
+    }
+
+
+@pytest.fixture
+def baseline():
+    return {"formats": {"FP16": _point(100.0), "INT4": _point(200.0), "INT2": _point(210.0)}}
+
+
+class TestCompare:
+    def test_identical_passes(self, baseline):
+        checker = _load_checker()
+        assert checker.compare(copy.deepcopy(baseline), baseline) == []
+
+    def test_small_drop_within_threshold_passes(self, baseline):
+        checker = _load_checker()
+        current = copy.deepcopy(baseline)
+        current["formats"]["INT4"]["tokens_per_s"] = 185.0  # -7.5%
+        assert checker.compare(current, baseline) == []
+
+    def test_synthetic_regression_fails(self, baseline):
+        checker = _load_checker()
+        current = copy.deepcopy(baseline)
+        current["formats"]["INT4"]["tokens_per_s"] = 170.0  # -15%
+        failures = checker.compare(current, baseline)
+        assert len(failures) == 1
+        assert "INT4" in failures[0]
+
+    def test_missing_format_fails(self, baseline):
+        checker = _load_checker()
+        current = copy.deepcopy(baseline)
+        del current["formats"]["INT2"]
+        failures = checker.compare(current, baseline)
+        assert any("INT2" in f for f in failures)
+
+    def test_improvement_passes(self, baseline):
+        checker = _load_checker()
+        current = copy.deepcopy(baseline)
+        current["formats"]["FP16"]["tokens_per_s"] = 300.0
+        assert checker.compare(current, baseline) == []
+
+    def test_none_percentiles_are_reported_not_fabricated(self, baseline, capsys):
+        checker = _load_checker()
+        current = copy.deepcopy(baseline)
+        baseline["formats"]["FP16"]["p99_tbt_s"] = None
+        current["formats"]["FP16"]["p99_tbt_s"] = 0.035
+        assert checker.compare(current, baseline) == []
+        assert "n/a" in capsys.readouterr().out
+
+    def test_threshold_is_tunable(self, baseline):
+        checker = _load_checker()
+        current = copy.deepcopy(baseline)
+        current["formats"]["FP16"]["tokens_per_s"] = 95.0  # -5%
+        assert checker.compare(current, baseline, threshold=0.10) == []
+        assert len(checker.compare(current, baseline, threshold=0.02)) == 1
+
+
+class TestCli:
+    def _run(self, tmp_path, current, baseline, *extra):
+        cur = tmp_path / "current.json"
+        base = tmp_path / "baseline.json"
+        cur.write_text(json.dumps(current))
+        base.write_text(json.dumps(baseline))
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), str(cur), str(base), *extra],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_exit_zero_on_pass(self, tmp_path, baseline):
+        result = self._run(tmp_path, copy.deepcopy(baseline), baseline)
+        assert result.returncode == 0
+        assert "benchmark gate: OK" in result.stdout
+
+    def test_exit_nonzero_on_regression(self, tmp_path, baseline):
+        current = copy.deepcopy(baseline)
+        current["formats"]["FP16"]["tokens_per_s"] = 50.0  # -50%
+        result = self._run(tmp_path, current, baseline)
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stdout
+
+    def test_committed_baseline_matches_engine_output(self):
+        """A fresh deterministic run must pass the gate against the
+        committed baseline — a stale baseline.json fails tier-1, not just
+        the separate CI bench job."""
+        import importlib.util
+
+        bench_path = REPO_ROOT / "benchmarks" / "bench_serving_engine.py"
+        spec = importlib.util.spec_from_file_location("bench_serving_engine", bench_path)
+        bench = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench)
+        baseline = json.loads((REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+        fresh = bench.run_serving_bench(
+            fast=baseline["fast_mode"], prefill_chunk=baseline["prefill_chunk_tokens"]
+        )
+        checker = _load_checker()
+        assert checker.compare(fresh, baseline) == []
+        # Deterministic simulation: the refresh command reproduces the
+        # committed numbers exactly, not merely within the gate threshold.
+        for name, point in baseline["formats"].items():
+            assert fresh["formats"][name]["tokens_per_s"] == pytest.approx(
+                point["tokens_per_s"], rel=1e-12
+            )

@@ -35,7 +35,18 @@ class TestCli:
             "--prompt-len", "512", "--output-len", "16",
         ])
         out = capsys.readouterr().out
-        for token in ("FP16", "INT4", "INT2", "peak batch", "tok/s"):
+        for token in ("FP16", "INT4", "INT2", "tok/s", "p99 tbt ms", "whole-prompt prefill"):
+            assert token in out
+
+    def test_serve_sim_chunked(self, capsys):
+        main([
+            "serve-sim", "--requests", "6", "--rate", "100",
+            "--prompt-len", "512", "--output-len", "16",
+            "--prefill-chunk", "128",
+        ])
+        out = capsys.readouterr().out
+        assert "chunked prefill 128 tok/step" in out
+        for token in ("FP16", "INT4", "INT2", "tok/s"):
             assert token in out
 
     def test_serve_sim_step_cap_and_json(self, capsys):
@@ -49,6 +60,21 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert [r["format_name"] for r in payload["reports"]] == ["FP16", "INT4", "INT2"]
         assert all(r["decode_steps"] <= 5 for r in payload["reports"])
+
+    def test_serve_sim_chunked_json(self, capsys):
+        import json
+
+        main([
+            "serve-sim", "--requests", "6", "--rate", "100",
+            "--prompt-len", "512", "--output-len", "16",
+            "--prefill-chunk", "128", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["prefill_chunk_tokens"] == 128
+        for report in payload["reports"]:
+            assert report["prefill_chunk_tokens"] == 128
+            assert report["completed"] == 6
+            assert report["p99_tbt_s"] is not None
 
     def test_unknown_experiment_exits(self, capsys):
         with pytest.raises(SystemExit):
