@@ -1,0 +1,177 @@
+"""Decode hot-path microbenchmark: vectorized SoA cache vs per-block loops.
+
+Times one decode step over a long-context low-bit cache in two
+implementations of identical numerics:
+
+- the vectorized struct-of-arrays ``BitKVCache`` (batched unpack/dequant/
+  attention, dequant memoized between flushes), and
+- the retained seed implementation (``tests/reference_cache.py``): nested
+  Python loops over per-(batch, head) block lists that re-dequantize every
+  packed block on every step.
+
+The headline number is the per-decode-step speedup at the acceptance
+geometry (batch 8, hkv 8, seq 16k, INT4); the secondary check is that the
+vectorized decode's wall time stays flat across steps at fixed sequence
+length in the no-flush regime (the memoization contract).
+
+CI runs this module as a script to emit the gated benchmark point::
+
+    python benchmarks/bench_kernel_hotpath.py --out BENCH_kernels.json
+
+which ``scripts/check_bench_regression.py --kernels BENCH_kernels.json``
+gates (speedup floor + flatness) next to the serving baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from repro.core.attention import BitDecoding, BitKVCache  # noqa: E402
+from repro.core.config import BitDecodingConfig  # noqa: E402
+
+from tests.reference_cache import ReferenceBitKVCache, reference_decode  # noqa: E402
+
+#: Acceptance geometry (ISSUE 3): 16k tokens, batch 8, hkv 8, INT4.
+DEFAULT_GEOMETRY = dict(batch=8, hkv=8, hq=8, seq_len=16384, head_dim=64, bits=4)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, (time.perf_counter() - t0) * 1e3
+
+
+def run_hotpath_bench(
+    batch=8,
+    hkv=8,
+    hq=8,
+    seq_len=16384,
+    head_dim=64,
+    bits=4,
+    steps=6,
+    reference_steps=1,
+    seed=0,
+):
+    """One full comparison run, summarized as the BENCH_kernels.json shape."""
+    config = BitDecodingConfig(bits=bits)
+    engine = BitDecoding(config, "a100")
+    rng = np.random.default_rng(seed)
+    k = rng.standard_normal((batch, hkv, seq_len, head_dim)).astype(np.float16)
+    v = rng.standard_normal((batch, hkv, seq_len, head_dim)).astype(np.float16)
+    q = rng.standard_normal((batch, 1, hq, head_dim)).astype(np.float16)
+
+    cache, vec_prefill_ms = _timed(lambda: BitKVCache.from_prefill(k, v, config))
+    per_step_ms = []
+    for _ in range(steps):
+        _, t = _timed(lambda: engine.decode(q, cache))
+        per_step_ms.append(t)
+    # Step 0 pays the one-off dequant of the packed part; the steady state
+    # is every subsequent (no-flush) step.
+    steady = per_step_ms[1:] if len(per_step_ms) > 1 else per_step_ms
+    vec_steady_ms = statistics.median(steady)
+    flatness = max(steady) / min(steady) if min(steady) > 0 else float("inf")
+
+    ref, ref_prefill_ms = _timed(lambda: ReferenceBitKVCache.from_prefill(k, v, config))
+    ref_step_ms = []
+    for _ in range(reference_steps):
+        _, t = _timed(lambda: reference_decode(config, q, ref))
+        ref_step_ms.append(t)
+    ref_decode_ms = statistics.median(ref_step_ms)
+
+    return {
+        "geometry": {
+            "batch": batch,
+            "hkv": hkv,
+            "hq": hq,
+            "seq_len": seq_len,
+            "head_dim": head_dim,
+            "bits": bits,
+        },
+        "vectorized": {
+            "prefill_ms": vec_prefill_ms,
+            "first_step_ms": per_step_ms[0],
+            "steady_step_ms": vec_steady_ms,
+            "per_step_ms": per_step_ms,
+        },
+        "reference": {
+            "prefill_ms": ref_prefill_ms,
+            "step_ms": ref_decode_ms,
+        },
+        "speedup_decode_step": ref_decode_ms / vec_steady_ms,
+        "speedup_prefill": ref_prefill_ms / vec_prefill_ms,
+        "decode_step_flatness": flatness,
+    }
+
+
+def _print_summary(result):
+    geom = result["geometry"]
+    print(
+        f"kernel hot path @ batch {geom['batch']}, hkv {geom['hkv']}, "
+        f"seq {geom['seq_len']}, d {geom['head_dim']}, INT{geom['bits']}"
+    )
+    vec, ref = result["vectorized"], result["reference"]
+    print(f"  prefill: vectorized {vec['prefill_ms']:9.1f} ms | reference {ref['prefill_ms']:9.1f} ms")
+    print(
+        f"  decode:  vectorized {vec['steady_step_ms']:9.1f} ms/step "
+        f"(first {vec['first_step_ms']:.1f} ms) | reference {ref['step_ms']:9.1f} ms/step"
+    )
+    print(
+        f"  speedup: {result['speedup_decode_step']:.1f}x per decode step, "
+        f"{result['speedup_prefill']:.1f}x prefill; "
+        f"flatness {result['decode_step_flatness']:.2f} "
+        f"(max/min steady step, 1.0 = perfectly flat)"
+    )
+
+
+def test_kernel_hotpath_smoke(run):
+    """Small-geometry smoke: the vectorized path must beat per-block loops."""
+    result = run(
+        run_hotpath_bench, batch=2, hkv=2, hq=4, seq_len=2048, head_dim=32, bits=4, steps=4
+    )
+    _print_summary(result)
+    assert result["speedup_decode_step"] > 1.0
+    assert result["vectorized"]["steady_step_ms"] <= result["vectorized"]["first_step_ms"] * 1.5
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch", type=int, default=DEFAULT_GEOMETRY["batch"])
+    parser.add_argument("--hkv", type=int, default=DEFAULT_GEOMETRY["hkv"])
+    parser.add_argument("--hq", type=int, default=DEFAULT_GEOMETRY["hq"])
+    parser.add_argument("--seq", type=int, default=DEFAULT_GEOMETRY["seq_len"])
+    parser.add_argument("--head-dim", type=int, default=DEFAULT_GEOMETRY["head_dim"])
+    parser.add_argument("--bits", type=int, default=DEFAULT_GEOMETRY["bits"])
+    parser.add_argument("--steps", type=int, default=6, help="vectorized decode steps to time")
+    parser.add_argument("--out", default=None, help="write BENCH_kernels.json here")
+    args = parser.parse_args(argv)
+
+    result = run_hotpath_bench(
+        batch=args.batch,
+        hkv=args.hkv,
+        hq=args.hq,
+        seq_len=args.seq,
+        head_dim=args.head_dim,
+        bits=args.bits,
+        steps=args.steps,
+    )
+    _print_summary(result)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,15 @@ Gated: per-format sustained tokens/s must not drop more than
 disappear.  Reported but not gated: p99 TBT and p99 TTFT shifts, because
 the chunked-prefill knob deliberately trades one against the other.
 
+With ``--kernels BENCH_kernels.json`` (see
+``benchmarks/bench_kernel_hotpath.py``) the decode hot path is gated too:
+the vectorized cache must stay at least ``--min-speedup`` (default 10x)
+faster per decode step than the retained per-block reference, and the
+per-step wall time must stay flat (max/min <= ``--max-flatness``) in the
+no-flush regime.  Speedup and flatness are same-machine ratios, so they
+are stable across runner hardware where absolute milliseconds are not;
+drift against the baseline's recorded speedup is reported, not gated.
+
 Exit status is non-zero on any gated regression, which is what CI's
 ``bench`` job gates on.  When a throughput change is intentional, refresh
 the baseline::
@@ -27,6 +36,8 @@ import json
 import sys
 
 DEFAULT_THRESHOLD = 0.10
+DEFAULT_MIN_SPEEDUP = 10.0
+DEFAULT_MAX_FLATNESS = 2.0
 
 
 def _pct(current: float | None, base: float | None) -> str:
@@ -61,6 +72,38 @@ def compare(current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD)
     return failures
 
 
+def compare_kernels(
+    kernels: dict,
+    baseline_kernels: dict | None = None,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+    max_flatness: float = DEFAULT_MAX_FLATNESS,
+) -> list[str]:
+    """Gate the decode hot-path microbenchmark (empty list = pass)."""
+    failures: list[str] = []
+    speedup = kernels.get("speedup_decode_step")
+    flatness = kernels.get("decode_step_flatness")
+    base_speedup = (baseline_kernels or {}).get("speedup_decode_step")
+    speedup_s = "n/a" if speedup is None else f"{speedup:.1f}x"
+    flatness_s = "n/a" if flatness is None else f"{flatness:.2f}"
+    print(
+        f"kernels: decode-step speedup {speedup_s} "
+        f"(floor {min_speedup:.0f}x, baseline {_pct(speedup, base_speedup)}), "
+        f"flatness {flatness_s} (max {max_flatness:.1f})"
+    )
+    if speedup is None or speedup < min_speedup:
+        failures.append(
+            f"kernels: vectorized decode step is only {speedup_s} the per-block "
+            f"reference (floor {min_speedup:.0f}x)"
+        )
+    if flatness is None or flatness > max_flatness:
+        failures.append(
+            f"kernels: decode step time grows across no-flush steps "
+            f"(max/min {flatness_s} > {max_flatness:.1f}); the dequant memo "
+            "is being invalidated or rebuilt"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_serving.json")
@@ -71,12 +114,38 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_THRESHOLD,
         help="max fractional tokens/s drop before failing (default 0.10)",
     )
+    parser.add_argument(
+        "--kernels",
+        default=None,
+        help="fresh BENCH_kernels.json to gate against the baseline's 'kernels' entry",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="min vectorized-vs-reference decode-step speedup (default 10)",
+    )
+    parser.add_argument(
+        "--max-flatness",
+        type=float,
+        default=DEFAULT_MAX_FLATNESS,
+        help="max steady-step max/min wall-time ratio (default 2.0)",
+    )
     args = parser.parse_args(argv)
     with open(args.current) as fh:
         current = json.load(fh)
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     failures = compare(current, baseline, args.threshold)
+    if args.kernels:
+        with open(args.kernels) as fh:
+            kernels = json.load(fh)
+        failures += compare_kernels(
+            kernels,
+            baseline.get("kernels"),
+            min_speedup=args.min_speedup,
+            max_flatness=args.max_flatness,
+        )
     if failures:
         print()
         for failure in failures:

@@ -28,12 +28,14 @@ LINT_TARGETS = ["src", "tests", "benchmarks", "examples", "scripts"]
 #: ratcheted in as they get reformatted; new subsystems start here.
 FORMAT_TARGETS = [
     "scripts",
+    "src/repro/core",
     "src/repro/model/inference.py",
     "src/repro/model/memory.py",
     "src/repro/pages",
     "src/repro/serving",
     "tests/pages",
     "tests/serving",
+    "benchmarks/bench_kernel_hotpath.py",
     "benchmarks/bench_serving_engine.py",
 ]
 

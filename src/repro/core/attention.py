@@ -8,9 +8,14 @@ This is the public face of the library:
 >>> out = engine.decode(q, cache)           # q: [batch, 1, hq, d]
 
 ``BitKVCache`` owns the two-part cache (packed low-bit blocks + FP16
-residual, Sec. IV-A(2)); ``BitDecoding`` runs the Residual and Packing
-kernels over it, merges their partial softmax states, and can report the
-simulated GPU timing of every launch.
+residual, Sec. IV-A(2)) in *struct-of-arrays* form: one packed-words
+tensor, one ``half2`` metadata tensor and one residual tensor per K/V,
+each carrying ``[batch, hkv, ...]`` leading dims so prefill packing,
+appends, flushes and dequantization run as single batched numpy ops —
+no Python iteration over (batch, head, block) in the decode hot path.
+``BitDecoding`` runs the Residual and Packing kernels over it, merges
+their partial softmax states, and can report the simulated GPU timing of
+every launch.
 """
 
 from __future__ import annotations
@@ -24,13 +29,13 @@ from repro.core.arch_support import validate_config
 from repro.core.config import AttentionGeometry, BitDecodingConfig
 from repro.core.packing_kernel import build_packing_launch, run_numeric
 from repro.core.query_transform import group_queries, ungroup_output
-from repro.core.residual_cache import ResidualBuffer, partition_prefill
+from repro.core.residual_cache import BatchedResidual, partition_prefill
 from repro.core.residual_kernel import (
-    Fp4Block,
-    PackedBlock,
+    Fp4BlockBatch,
+    PackedBlockBatch,
     attend_residual,
     build_residual_launch,
-    flush_block,
+    flush_blocks,
 )
 from repro.core.softmax import OnlineSoftmaxState
 from repro.gpu.arch import ArchSpec, get_arch
@@ -38,12 +43,20 @@ from repro.gpu.kernel import KernelLaunch, KernelResult, simulate_kernel
 
 
 class BitKVCache:
-    """Two-part low-bit KV cache for a batch of sequences.
+    """Two-part low-bit KV cache for a batch of sequences, struct-of-arrays.
 
-    Storage per (sequence, kv-head): a list of quantized+packed blocks
-    (each ``N_r`` tokens, fragment-order packed words + ``half2`` metadata)
-    and one FP16 residual buffer of capacity ``N_r``.  All sequences in the
-    batch share a length (the paper's padded "Batches" setting).
+    Storage is batched over every (sequence, kv-head) pair: the packed part
+    is one :class:`~repro.core.residual_kernel.PackedBlockBatch` (or
+    :class:`~repro.core.residual_kernel.Fp4BlockBatch`) whose word/metadata
+    tensors carry ``[batch, hkv, n_blocks, ...]`` leading dims, and the FP16
+    residual is one :class:`~repro.core.residual_cache.BatchedResidual`
+    tensor pair with a shared fill cursor.  All sequences in the batch share
+    a length (the paper's padded "Batches" setting), which is exactly what
+    makes the lock-step layout valid.
+
+    Dequantized packed K/V are memoized per flush epoch: decode steps that
+    do not flush reuse the reconstruction instead of re-dequantizing every
+    block (see :meth:`dequant_kv` / :meth:`invalidate_dequant_cache`).
     """
 
     def __init__(self, batch: int, hkv: int, head_dim: int, config: BitDecodingConfig):
@@ -54,24 +67,21 @@ class BitKVCache:
         self.head_dim = head_dim
         self.config = config
         nr = config.residual_block_size
-        self.blocks: List[List[List[Union[PackedBlock, Fp4Block]]]] = [
-            [[] for _ in range(hkv)] for _ in range(batch)
-        ]
-        self.residuals: List[List[ResidualBuffer]] = [
-            [ResidualBuffer(nr, head_dim) for _ in range(hkv)] for _ in range(batch)
-        ]
+        self.packed: Optional[Union[PackedBlockBatch, Fp4BlockBatch]] = None
+        self.residual = BatchedResidual(batch, hkv, nr, head_dim)
         self.seq_len = 0
+        self.flush_epoch = 0
+        self._dequant_memo: Optional[Tuple[Tuple[int, int], Tuple[np.ndarray, np.ndarray]]] = None
 
     # ------------------------------------------------------------------ fill
 
     @classmethod
-    def from_prefill(
-        cls, k: np.ndarray, v: np.ndarray, config: BitDecodingConfig
-    ) -> "BitKVCache":
+    def from_prefill(cls, k: np.ndarray, v: np.ndarray, config: BitDecodingConfig) -> "BitKVCache":
         """Build a cache from prefill K/V of shape ``[batch, hkv, seq, d]``.
 
-        The first ``L - (L mod N_r)`` tokens are quantized+packed block by
-        block; the remainder seeds the FP16 residual (Sec. V-B(1)).
+        The first ``L - (L mod N_r)`` tokens are quantized+packed — all
+        ``batch x hkv x n_blocks`` blocks in one vectorized flush — and the
+        remainder seeds the FP16 residual (Sec. V-B(1)).
         """
         k = np.asarray(k)
         v = np.asarray(v)
@@ -81,39 +91,59 @@ class BitKVCache:
         cache = cls(batch, hkv, d, config)
         nr = config.residual_block_size
         packed_len, res_len = partition_prefill(seq_len, nr)
-        for b in range(batch):
-            for h in range(hkv):
-                for t0 in range(0, packed_len, nr):
-                    cache.blocks[b][h].append(
-                        flush_block(k[b, h, t0 : t0 + nr], v[b, h, t0 : t0 + nr], config)
-                    )
-                if res_len:
-                    cache.residuals[b][h].fill(
-                        k[b, h, packed_len:], v[b, h, packed_len:]
-                    )
+        n_blocks = packed_len // nr
+        if n_blocks:
+            cache.packed = flush_blocks(
+                k[:, :, :packed_len].reshape(batch, hkv, n_blocks, nr, d),
+                v[:, :, :packed_len].reshape(batch, hkv, n_blocks, nr, d),
+                config,
+            )
+            cache.flush_epoch += 1
+        if res_len:
+            cache.residual.fill(k[:, :, packed_len:], v[:, :, packed_len:])
         cache.seq_len = seq_len
         return cache
 
     def append_token(self, k_new: np.ndarray, v_new: np.ndarray) -> bool:
         """Append one decoded token's K/V (``[batch, hkv, d]``).
 
-        Returns True when the append flushed the residual into a packed
-        block (the once-per-``N_r``-steps quantization event).
+        One slice write into the batched residual; on the step where the
+        residual fills to ``N_r``, all ``batch x hkv`` blocks are quantized
+        and packed in a single vectorized flush.  Returns True when that
+        flush happened (the once-per-``N_r``-steps quantization event).
         """
         k_new = np.asarray(k_new)
         v_new = np.asarray(v_new)
         expected = (self.batch, self.hkv, self.head_dim)
         if k_new.shape != expected or v_new.shape != expected:
             raise ValueError(f"new K/V must have shape {expected}")
-        flushed = False
-        for b in range(self.batch):
-            for h in range(self.hkv):
-                block = self.residuals[b][h].append(k_new[b, h], v_new[b, h])
-                if block is not None:
-                    self.blocks[b][h].append(
-                        flush_block(block[0], block[1], self.config)
-                    )
-                    flushed = True
+        block = self.residual.append(k_new, v_new)
+        flushed = block is not None
+        if flushed:
+            batch_blocks = flush_blocks(block[0][:, :, None], block[1][:, :, None], self.config)
+            memo = self._dequant_memo
+            extendable = (
+                memo is not None
+                and self.packed is not None
+                and memo[0] == (self.packed.n_blocks, self.flush_epoch)
+            )
+            self.packed = (
+                batch_blocks if self.packed is None else self.packed.extend(batch_blocks)
+            )
+            self.flush_epoch += 1
+            if extendable:
+                # A flush only appends blocks, so the memoized reconstruction
+                # extends with just the new blocks' dequant — per-block
+                # independence makes this bit-identical to a full rebuild,
+                # and keeps flush steps O(N_r), not O(context).
+                k_new_hat, v_new_hat = batch_blocks.dequant_kv(self.config)
+                kv = (
+                    np.concatenate([memo[1][0], k_new_hat], axis=2),
+                    np.concatenate([memo[1][1], v_new_hat], axis=2),
+                )
+                self._dequant_memo = ((self.packed.n_blocks, self.flush_epoch), kv)
+            else:
+                self._dequant_memo = None
         self.seq_len += 1
         return flushed
 
@@ -121,47 +151,71 @@ class BitKVCache:
 
     def packed_len(self) -> int:
         """Tokens currently in the packed (low-bit) part, per head."""
-        if not self.blocks[0][0]:
+        if self.packed is None:
             return 0
-        return sum(blk.length for blk in self.blocks[0][0])
+        return self.packed.n_blocks * self.packed.length
 
     def res_len(self) -> int:
         """Tokens currently in the FP16 residual, per head."""
-        return self.residuals[0][0].length
+        return self.residual.length
+
+    def dequant_kv(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Reconstructed FP32 ``[batch, hkv, packed_len, d]`` K/V, memoized.
+
+        The first call after a flush exercises the real batched unpack +
+        dequantization of the stored fragment-order words; subsequent calls
+        return the cached reconstruction until the next flush changes the
+        packed part (keyed on ``(n_blocks, flush_epoch)``).  Callers that
+        mutate the packed words or metadata in place must call
+        :meth:`invalidate_dequant_cache`.
+        """
+        if self.packed is None:
+            empty = np.zeros((self.batch, self.hkv, 0, self.head_dim), np.float32)
+            return empty, empty
+        key = (self.packed.n_blocks, self.flush_epoch)
+        if self._dequant_memo is not None and self._dequant_memo[0] == key:
+            return self._dequant_memo[1]
+        kv = self.packed.dequant_kv(self.config)
+        self._dequant_memo = (key, kv)
+        return kv
+
+    def invalidate_dequant_cache(self) -> None:
+        """Drop the memoized dequantized K/V (after in-place mutation)."""
+        self._dequant_memo = None
 
     def dequantized_packed(self, b: int, h: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Reconstructed FP32 ``(packed_len, d)`` K/V for one head.
+        """Reconstructed FP32 ``(packed_len, d)`` K/V for one head."""
+        k_hat, v_hat = self.dequant_kv()
+        return k_hat[b, h], v_hat[b, h]
 
-        Every call exercises the real unpack + dequantization path of the
-        stored fragment-order words.
-        """
-        blocks = self.blocks[b][h]
-        if not blocks:
-            d = self.head_dim
-            return np.zeros((0, d), np.float32), np.zeros((0, d), np.float32)
-        ks, vs = zip(*(blk.dequant_kv(self.config) for blk in blocks))
-        return np.concatenate(ks, axis=0), np.concatenate(vs, axis=0)
+    def residual_kv(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Valid FP16 residual rows, ``[batch, hkv, res_len, d]``."""
+        return self.residual.view()
 
     def residual_view(self, b: int, h: int) -> Tuple[np.ndarray, np.ndarray]:
-        return self.residuals[b][h].view()
+        k_res, v_res = self.residual.view()
+        return k_res[b, h], v_res[b, h]
 
     # ------------------------------------------------------------------ sizes
 
     @property
     def packed_nbytes(self) -> float:
-        return sum(
-            blk.packed_nbytes for row in self.blocks for head in row for blk in head
-        )
+        """Packed-word bytes, computed from array shapes in O(1)."""
+        if self.packed is None:
+            return 0.0
+        return self.packed.packed_nbytes
 
     @property
     def meta_nbytes(self) -> float:
-        return sum(
-            blk.meta_nbytes for row in self.blocks for head in row for blk in head
-        )
+        """Quantization-metadata bytes, computed from array shapes in O(1)."""
+        if self.packed is None:
+            return 0.0
+        return self.packed.meta_nbytes
 
     @property
     def residual_nbytes(self) -> float:
-        return sum(r.nbytes for row in self.residuals for r in row)
+        """FP16 residual bytes (constant), from array shapes in O(1)."""
+        return self.residual.nbytes
 
     @property
     def total_nbytes(self) -> float:
@@ -180,9 +234,7 @@ class BitKVCache:
 class BitDecoding:
     """The BitDecoding engine: decode attention over a :class:`BitKVCache`."""
 
-    def __init__(
-        self, config: BitDecodingConfig, arch: Union[ArchSpec, str] = "a100"
-    ):
+    def __init__(self, config: BitDecodingConfig, arch: Union[ArchSpec, str] = "a100"):
         self.arch = get_arch(arch) if isinstance(arch, str) else arch
         validate_config(self.arch, config)
         self.config = config
@@ -224,8 +276,9 @@ class BitDecoding:
 
         ``q``: ``[batch, q_len, hq, d]``.  Returns ``[batch, q_len, hq, d]``.
         Runs the Packing Kernel over the packed part and the Residual
-        Kernel over the FP16 tail; their partial online-softmax states are
-        merged exactly as the split-KV reduction kernel does.
+        Kernel over the FP16 tail — each as one batched pass over every
+        (batch, kv-head) pair — and merges their partial online-softmax
+        states exactly as the split-KV reduction kernel does.
         """
         q = np.asarray(q, dtype=np.float32)
         if q.ndim != 4:
@@ -239,36 +292,24 @@ class BitDecoding:
         scale = 1.0 / math.sqrt(d)
 
         grouped = group_queries(q, cache.hkv)  # [b, hkv, M, d]
-        m = grouped.shape[2]
-        out = np.empty_like(grouped)
-        for b in range(batch):
-            for h in range(cache.hkv):
-                q_bh = grouped[b, h]
-                k_hat, v_hat = cache.dequantized_packed(b, h)
-                states: List[OnlineSoftmaxState] = []
-                if k_hat.shape[0]:
-                    if n_splits and n_splits > 1:
-                        from repro.core.packing_kernel import split_states
+        states: List[OnlineSoftmaxState] = []
+        k_hat, v_hat = cache.dequant_kv()
+        if k_hat.shape[-2]:
+            if n_splits and n_splits > 1:
+                from repro.core.packing_kernel import split_states
 
-                        states.extend(
-                            split_states(q_bh, k_hat, v_hat, self.config, n_splits, scale)
-                        )
-                    else:
-                        states.append(
-                            run_numeric(q_bh, k_hat, v_hat, self.config, scale)
-                        )
-                k_res, v_res = cache.residual_view(b, h)
-                if k_res.shape[0]:
-                    states.append(
-                        attend_residual(q_bh, k_res, v_res, self.config, scale)
-                    )
-                if not states:
-                    raise ValueError("decode on an empty cache")
-                merged = states[0]
-                for st in states[1:]:
-                    merged.merge(st)
-                out[b, h] = merged.finalize()
-        return ungroup_output(out, hq, q_len)
+                states.extend(split_states(grouped, k_hat, v_hat, self.config, n_splits, scale))
+            else:
+                states.append(run_numeric(grouped, k_hat, v_hat, self.config, scale))
+        k_res, v_res = cache.residual_kv()
+        if k_res.shape[-2]:
+            states.append(attend_residual(grouped, k_res, v_res, self.config, scale))
+        if not states:
+            raise ValueError("decode on an empty cache")
+        merged = states[0]
+        for st in states[1:]:
+            merged.merge(st)
+        return ungroup_output(merged.finalize(), hq, q_len)
 
     def decode_speculative(
         self,
@@ -309,34 +350,27 @@ class BitDecoding:
         gq = hq // cache.hkv
 
         grouped = group_queries(q, cache.hkv)  # [b, hkv, n*gq, d]
-        out = np.empty_like(grouped)
-        for b in range(batch):
-            for h in range(cache.hkv):
-                q_bh = grouped[b, h]  # rows ordered (token, group-slot)
-                states: List[OnlineSoftmaxState] = []
-                k_hat, v_hat = cache.dequantized_packed(b, h)
-                if k_hat.shape[0]:
-                    states.append(run_numeric(q_bh, k_hat, v_hat, self.config, scale))
-                k_res, v_res = cache.residual_view(b, h)
-                if k_res.shape[0]:
-                    states.append(
-                        attend_residual(q_bh, k_res, v_res, self.config, scale)
-                    )
-                # Causal tail: query row r belongs to draft token r // gq
-                # and may see draft columns 0 .. r // gq.
-                s_tail = (q_bh @ k_draft[b, h].T) * scale
-                rows = np.arange(n * gq) // gq
-                mask = np.arange(n)[None, :] > rows[:, None]
-                s_tail = np.where(mask, -np.inf, s_tail)
-                tail_state = OnlineSoftmaxState.fresh(n * gq, d)
-                tail_state.update(s_tail, v_draft[b, h])
-                states.append(tail_state)
+        states: List[OnlineSoftmaxState] = []
+        k_hat, v_hat = cache.dequant_kv()
+        if k_hat.shape[-2]:
+            states.append(run_numeric(grouped, k_hat, v_hat, self.config, scale))
+        k_res, v_res = cache.residual_kv()
+        if k_res.shape[-2]:
+            states.append(attend_residual(grouped, k_res, v_res, self.config, scale))
+        # Causal tail: query row r belongs to draft token r // gq and may
+        # see draft columns 0 .. r // gq; one masked tile for every head.
+        s_tail = (grouped @ np.swapaxes(k_draft, -1, -2)) * scale
+        rows = np.arange(n * gq) // gq
+        mask = np.arange(n)[None, :] > rows[:, None]
+        s_tail = np.where(mask, -np.inf, s_tail)
+        tail_state = OnlineSoftmaxState.fresh(n * gq, d, leading=(batch, cache.hkv))
+        tail_state.update(s_tail, v_draft)
+        states.append(tail_state)
 
-                merged = states[0]
-                for st in states[1:]:
-                    merged.merge(st)
-                out[b, h] = merged.finalize()
-        result = ungroup_output(out, hq, q_len=n)
+        merged = states[0]
+        for st in states[1:]:
+            merged.merge(st)
+        result = ungroup_output(merged.finalize(), hq, q_len=n)
         if commit:
             for i in range(n):
                 cache.append_token(
@@ -376,9 +410,7 @@ class BitDecoding:
                     page_size=page_size,
                 )
             )
-        launches.append(
-            build_residual_launch(geom, self.config, self.arch, res_len, flush=flush)
-        )
+        launches.append(build_residual_launch(geom, self.config, self.arch, res_len, flush=flush))
         return launches
 
     def decode_results(self, geom: AttentionGeometry, **kwargs) -> List[KernelResult]:

@@ -34,9 +34,7 @@ class AttentionGeometry:
         if min(self.batch, self.hq, self.hkv, self.seq_len, self.head_dim, self.q_len) <= 0:
             raise ValueError("all geometry dimensions must be positive")
         if self.hq % self.hkv != 0:
-            raise ValueError(
-                f"hq ({self.hq}) must be a multiple of hkv ({self.hkv})"
-            )
+            raise ValueError(f"hq ({self.hq}) must be a multiple of hkv ({self.hkv})")
 
     @property
     def gq(self) -> int:
@@ -107,9 +105,7 @@ class BitDecodingConfig:
 
     def __post_init__(self) -> None:
         if self.version not in KERNEL_VERSIONS:
-            raise ValueError(
-                f"version must be one of {KERNEL_VERSIONS}, got {self.version!r}"
-            )
+            raise ValueError(f"version must be one of {KERNEL_VERSIONS}, got {self.version!r}")
         if self.version != "fp4" and self.bits not in (1, 2, 4, 8):
             raise ValueError(f"unsupported bit width {self.bits}")
         if self.dequant_method not in ("lop3", "cvt"):

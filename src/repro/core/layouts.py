@@ -240,9 +240,7 @@ def induced_unpack(
     return layout.scatter(frag)
 
 
-def contiguous_pack(
-    qtile: np.ndarray, bits: int, word_bits: int = 16
-) -> np.ndarray:
+def contiguous_pack(qtile: np.ndarray, bits: int, word_bits: int = 16) -> np.ndarray:
     """Pack a quantized tile row-major (the naive layout of Fig. 3b)."""
     qtile = np.asarray(qtile)
     flat = qtile.reshape(1, -1)
@@ -306,10 +304,41 @@ def _block_fragment_indices(
     tc = np.arange(tiles_c)[None, :, None, None]
     row_idx = tr * layout.rows + table[None, None, :, :, 0]
     col_idx = tc * layout.cols + table[None, None, :, :, 1]
-    row_idx = np.broadcast_to(row_idx, (tiles_r, tiles_c, WARP_LANES, layout.values_per_lane)).copy()
-    col_idx = np.broadcast_to(col_idx, (tiles_r, tiles_c, WARP_LANES, layout.values_per_lane)).copy()
+    full = (tiles_r, tiles_c, WARP_LANES, layout.values_per_lane)
+    row_idx = np.broadcast_to(row_idx, full).copy()
+    col_idx = np.broadcast_to(col_idx, full).copy()
     _BLOCK_INDEX_CACHE[key] = (row_idx, col_idx)
     return row_idx, col_idx
+
+
+_BLOCK_OFFSET_CACHE: Dict[Tuple[str, int, int, bool], Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def block_fragment_offsets(
+    layout: FragmentLayout, n_rows: int, n_cols: int, transposed: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flattened gather/scatter offsets between a block and fragment order.
+
+    ``flat[slot]`` is the offset of fragment slot ``slot`` (storage order
+    ``[tile_row, tile_col, lane, slot]``, raveled) into the C-contiguous
+    block — of shape ``(n_rows, n_cols)``, or ``(n_cols, n_rows)`` when
+    ``transposed`` (the K operand's case: indices address the packing
+    orientation while the codes live transposed).  ``inv`` is the inverse
+    permutation, turning the scatter back into a gather: ``np.take`` with
+    these is far faster than advanced indexing on 10^8-element caches.
+    """
+    key = (layout.name, n_rows, n_cols, transposed)
+    if key in _BLOCK_OFFSET_CACHE:
+        return _BLOCK_OFFSET_CACHE[key]
+    row_idx, col_idx = _block_fragment_indices(layout, n_rows, n_cols)
+    if transposed:
+        flat = (col_idx * n_rows + row_idx).ravel()
+    else:
+        flat = (row_idx * n_cols + col_idx).ravel()
+    inv = np.empty_like(flat)
+    inv[flat] = np.arange(flat.size, dtype=flat.dtype)
+    _BLOCK_OFFSET_CACHE[key] = (flat, inv)
+    return flat, inv
 
 
 def block_fragment_pack(
@@ -347,9 +376,7 @@ def block_fragment_unpack(
     return block
 
 
-def layouts_match(
-    layout_store: FragmentLayout, layout_load: FragmentLayout
-) -> bool:
+def layouts_match(layout_store: FragmentLayout, layout_load: FragmentLayout) -> bool:
     """True when packing under one layout and unpacking under another is safe.
 
     The paper's coordination rule (Sec. IV-A(4)): the Residual Kernel and
@@ -358,6 +385,4 @@ def layouts_match(
     """
     if (layout_store.rows, layout_store.cols) != (layout_load.rows, layout_load.cols):
         return False
-    return bool(
-        np.array_equal(layout_store.lane_slot_table(), layout_load.lane_slot_table())
-    )
+    return bool(np.array_equal(layout_store.lane_slot_table(), layout_load.lane_slot_table()))

@@ -50,9 +50,7 @@ def packing_ratio(bits: int, word_bits: int = 16) -> int:
     if bits not in SUPPORTED_BITS:
         raise ValueError(f"unsupported bit width {bits}; use one of {SUPPORTED_BITS}")
     if word_bits not in SUPPORTED_WORD_BITS:
-        raise ValueError(
-            f"unsupported word width {word_bits}; use one of {SUPPORTED_WORD_BITS}"
-        )
+        raise ValueError(f"unsupported word width {word_bits}; use one of {SUPPORTED_WORD_BITS}")
     if word_bits < bits:
         raise ValueError("word width must be at least the value width")
     return word_bits // bits
@@ -101,13 +99,15 @@ def pack_values(
         raise ValueError(f"values out of range for {bits}-bit codes")
 
     dtype = _word_dtype(word_bits)
-    grouped = values.astype(np.uint32).reshape(*values.shape[:-1], -1, ratio)
+    # Shift and OR in the storage word's own width: every code shifted by
+    # its field offset stays below 2**word_bits by construction, so the
+    # narrow arithmetic is exact and the temporaries are word-sized.
+    grouped = values.astype(dtype).reshape(*values.shape[:-1], -1, ratio)
     fields = _field_order(ratio, interleaved)
-    shifts = (fields * bits).astype(np.uint32)
-    words = np.zeros(grouped.shape[:-1], dtype=np.uint32)
-    for j in range(ratio):
-        words |= grouped[..., j] << shifts[j]
-    return words.astype(dtype)
+    shifts = (fields * bits).astype(dtype)
+    # One broadcast shift + OR-reduction over the value axis: no Python
+    # loop per field, identical bit arithmetic.
+    return np.bitwise_or.reduce(grouped << shifts, axis=-1)
 
 
 def unpack_values(
@@ -118,12 +118,12 @@ def unpack_values(
 ) -> np.ndarray:
     """Inverse of :func:`pack_values`; expands the last axis by the ratio."""
     ratio = packing_ratio(bits, word_bits)
-    words = np.asarray(words).astype(np.uint32)
+    dtype = _word_dtype(word_bits)
+    words = np.asarray(words).astype(dtype, copy=False)
     fields = _field_order(ratio, interleaved)
-    mask = np.uint32((1 << bits) - 1)
-    out = np.empty(words.shape + (ratio,), dtype=np.uint8)
-    for j in range(ratio):
-        out[..., j] = (words >> np.uint32(fields[j] * bits)) & mask
+    mask = dtype.type((1 << bits) - 1)
+    shifts = (fields * bits).astype(dtype)
+    out = ((words[..., None] >> shifts) & mask).astype(np.uint8)
     return out.reshape(*words.shape[:-1], -1)
 
 

@@ -71,9 +71,12 @@ def run_numeric(
 ) -> OnlineSoftmaxState:
     """Attention of grouped queries over dequantized packed KV rows.
 
-    ``q_grouped``: ``(M, d)`` for one (batch, kv-head); ``k_hat``/``v_hat``:
-    ``(L_pack, d)`` *reconstructed* values (the cache object performs the
-    real unpack+dequant; see :class:`repro.core.attention.BitKVCache`).
+    ``q_grouped``: ``(..., M, d)``; ``k_hat``/``v_hat``: ``(..., L_pack, d)``
+    *reconstructed* values (the cache object performs the real
+    unpack+dequant; see :class:`repro.core.attention.BitKVCache`).  Leading
+    dims are independent (batch, kv-head) problems — the vectorized cache
+    passes ``[batch, hkv, ...]`` tensors so the whole decode batch walks
+    each tile in one numpy update, with no per-head Python loop.
 
     Walks the same ``tile_n``-wide tiles as the GPU kernel and applies the
     cooperative (or deliberately non-cooperative) softmax per tile.  On the
@@ -86,30 +89,33 @@ def run_numeric(
     if scale is None:
         scale = 1.0 / math.sqrt(q_grouped.shape[-1])
 
-    state = OnlineSoftmaxState.fresh(q_grouped.shape[0], v_hat.shape[-1])
-    seq_len = k_hat.shape[0]
+    state = OnlineSoftmaxState.fresh(
+        q_grouped.shape[-2], v_hat.shape[-1], leading=q_grouped.shape[:-2]
+    )
+    seq_len = k_hat.shape[-2]
     wn = config.effective_wn
     for t0 in range(0, seq_len, config.tile_n):
         t1 = min(t0 + config.tile_n, seq_len)
-        s = (q_grouped @ k_hat[t0:t1].T) * scale
-        v_tile = v_hat[t0:t1]
+        k_tile = k_hat[..., t0:t1, :]
+        s = (q_grouped @ np.swapaxes(k_tile, -1, -2)) * scale
+        v_tile = v_hat[..., t0:t1, :]
         # Real kernels pad the tail tile to the warp split: -inf scores
         # contribute nothing to the softmax, zero rows nothing to PV.
         remainder = s.shape[-1] % wn
         if remainder:
             pad = wn - remainder
-            s = np.concatenate(
-                [s, np.full((s.shape[0], pad), -np.inf, dtype=s.dtype)], axis=-1
-            )
+            s = np.concatenate([s, np.full((*s.shape[:-1], pad), -np.inf, dtype=s.dtype)], axis=-1)
             v_tile = np.concatenate(
-                [v_tile, np.zeros((pad, v_tile.shape[-1]), dtype=v_tile.dtype)], axis=0
+                [
+                    v_tile,
+                    np.zeros((*v_tile.shape[:-2], pad, v_tile.shape[-1]), dtype=v_tile.dtype),
+                ],
+                axis=-2,
             )
         if config.version == "fp4":
             state_update_fp4(state, s, v_tile, config)
         else:
-            tile_softmax_split(
-                state, s, v_tile, wn, cooperative=config.use_coop_softmax
-            )
+            tile_softmax_split(state, s, v_tile, wn, cooperative=config.use_coop_softmax)
     return state
 
 
@@ -130,10 +136,10 @@ def state_update_fp4(
     tile_max = scores.max(axis=-1)
     m_new = np.maximum(state.m, tile_max)
     correction = np.where(np.isfinite(state.m), np.exp(state.m - m_new), 0.0)
-    p = np.exp(scores - m_new[:, None])
+    p = np.exp(scores - m_new[..., None])
     p_q, _ = quantize_fp4(p, config.fp4_format, axis=-1)
     state.l = state.l * correction + p_q.sum(axis=-1)
-    state.acc = state.acc * correction[:, None] + p_q @ np.asarray(values, np.float32)
+    state.acc = state.acc * correction[..., None] + p_q @ np.asarray(values, np.float32)
     state.m = m_new
 
 
@@ -146,7 +152,7 @@ def split_states(
     scale: Optional[float] = None,
 ) -> List[OnlineSoftmaxState]:
     """Split-KV numerics: independent partial states, one per partition."""
-    seq_len = k_hat.shape[0]
+    seq_len = k_hat.shape[-2]
     n_splits = max(1, min(n_splits, max(1, seq_len)))
     bounds = np.linspace(0, seq_len, n_splits + 1, dtype=np.int64)
     states = []
@@ -154,7 +160,9 @@ def split_states(
         lo, hi = int(bounds[i]), int(bounds[i + 1])
         if lo == hi:
             continue
-        states.append(run_numeric(q_grouped, k_hat[lo:hi], v_hat[lo:hi], config, scale))
+        states.append(
+            run_numeric(q_grouped, k_hat[..., lo:hi, :], v_hat[..., lo:hi, :], config, scale)
+        )
     return states
 
 

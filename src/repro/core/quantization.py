@@ -88,16 +88,20 @@ class QuantParams:
         return self.scale.size * 2 + self.zero.size * 2
 
 
-def _group_reduce(x: np.ndarray, axis: int, group_size: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-group (min, max) along ``axis`` with group length ``group_size``."""
+def _grouped_view(x: np.ndarray, axis: int, group_size: int) -> Tuple[np.ndarray, int]:
+    """Split ``axis`` into ``(n_groups, group_size)`` as a zero-copy view.
+
+    Splitting an axis in place never transposes memory, so group reductions
+    and broadcasts stay contiguous no matter which axis the groups run
+    along — the batched cache quantizes 10^8-element tensors through this.
+    Returns the reshaped view and the (normalized) group axis position.
+    """
+    axis = axis % x.ndim
     n = x.shape[axis]
     if n % group_size != 0:
-        raise ValueError(
-            f"axis length {n} is not a multiple of group size {group_size}"
-        )
-    moved = np.moveaxis(x, axis, -1)
-    grouped = moved.reshape(*moved.shape[:-1], n // group_size, group_size)
-    return grouped.min(axis=-1), grouped.max(axis=-1)
+        raise ValueError(f"axis length {n} is not a multiple of group size {group_size}")
+    shape = x.shape[:axis] + (n // group_size, group_size) + x.shape[axis + 1 :]
+    return x.reshape(shape), axis
 
 
 def quantize(
@@ -109,17 +113,25 @@ def quantize(
     The affine map is ``code = round((x - zero) / scale)`` clamped to
     ``[0, 2**bits - 1]``; ``scale``/``zero`` are rounded to FP16 *before*
     quantization, exactly as a kernel storing ``half2`` metadata would.
+
+    ``x`` may have any rank: the group statistics reduce over ``axis`` in
+    one batched pass, so a whole ``[batch, hkv, n_blocks, N_r, d]`` cache
+    quantizes in a single call.
     """
     if bits not in (1, 2, 4, 8):
         raise ValueError(f"unsupported bit width {bits}")
     x = np.asarray(x, dtype=np.float32)
-    if x.size and not np.all(np.isfinite(x)):
+    axis = axis % x.ndim
+    grouped, ax = _grouped_view(x, axis, group_size)
+    gmin = grouped.min(axis=ax + 1)
+    gmax = grouped.max(axis=ax + 1)
+    # NaN/Inf propagate into the group min/max, so checking the (small)
+    # reductions detects every poisoned value without another full pass.
+    if x.size and not (np.all(np.isfinite(gmin)) and np.all(np.isfinite(gmax))):
         raise ValueError(
             "quantize received non-finite values; a NaN/Inf in K or V would "
             "poison a whole quantization group's scale"
         )
-    axis = axis % x.ndim
-    gmin, gmax = _group_reduce(x, axis, group_size)
     levels = (1 << bits) - 1
     scale = (gmax - gmin) / levels
     # Guard degenerate all-equal groups; scale 0 would divide by zero.
@@ -130,24 +142,48 @@ def quantize(
     scale = np.where(scale <= 0, np.float32(6e-5), scale)  # fp16 underflow guard
     zero = zero.astype(np.float16).astype(np.float32)
 
-    expand = np.repeat(scale, group_size, axis=-1)
-    expand_zero = np.repeat(zero, group_size, axis=-1)
-    moved = np.moveaxis(x, axis, -1)
-    codes = np.rint((moved - expand_zero) / expand)
-    codes = np.clip(codes, 0, levels).astype(np.uint8)
-    codes = np.moveaxis(codes, -1, axis)
-    return codes, QuantParams(scale=scale, zero=zero, axis=axis, group_size=group_size, bits=bits)
+    expand = np.expand_dims(scale, ax + 1)
+    expand_zero = np.expand_dims(zero, ax + 1)
+    # The affine map runs through one preallocated buffer (no per-op
+    # temporaries); this path is memory-bound at cache scale.
+    affine = np.empty(grouped.shape, dtype=np.float32)
+    np.subtract(grouped, expand_zero, out=affine)
+    np.divide(affine, expand, out=affine)
+    np.rint(affine, out=affine)
+    np.clip(affine, 0, levels, out=affine)
+    codes = affine.astype(np.uint8).reshape(x.shape)
+    # Public metadata layout keeps the group axis last (the ``half2``
+    # stream the kernels read); the heavy per-value math above never
+    # transposes, only this small array does.
+    params = QuantParams(
+        scale=np.moveaxis(scale, ax, -1),
+        zero=np.moveaxis(zero, ax, -1),
+        axis=axis,
+        group_size=group_size,
+        bits=bits,
+    )
+    return codes, params
 
 
 def dequantize(codes: np.ndarray, params: QuantParams) -> np.ndarray:
-    """Inverse affine map: ``x_hat = code * scale + zero`` (one HFMA2)."""
+    """Inverse affine map: ``x_hat = code * scale + zero`` (one HFMA2).
+
+    Like :func:`quantize`, fully batched: the per-group scale/zero broadcast
+    against a zero-copy grouped view — no transposes of the code tensor.
+    """
     codes = np.asarray(codes)
-    axis = params.axis % codes.ndim
-    moved = np.moveaxis(codes, axis, -1).astype(np.float32)
-    expand = np.repeat(params.scale, params.group_size, axis=-1)
-    expand_zero = np.repeat(params.zero, params.group_size, axis=-1)
-    out = moved * expand + expand_zero
-    return np.moveaxis(out, -1, axis)
+    grouped, ax = _grouped_view(codes, params.axis, params.group_size)
+    scale = np.expand_dims(np.moveaxis(params.scale, -1, ax), ax + 1)
+    zero = np.expand_dims(np.moveaxis(params.zero, -1, ax), ax + 1)
+    # Write through a preallocated C-contiguous buffer: the reconstruction's
+    # memory layout must not depend on the codes' strides, so that every
+    # caller (per-block or batched) hands the downstream GEMMs identical
+    # arrays and decode stays bit-reproducible across cache layouts.
+    out = np.empty(codes.shape, dtype=np.float32)
+    out_grouped = out.reshape(grouped.shape)
+    np.multiply(grouped, scale, out=out_grouped)
+    np.add(out_grouped, zero, out=out_grouped)
+    return out
 
 
 def quantize_key(
@@ -202,9 +238,7 @@ def _quantize_e2m1(x: np.ndarray) -> np.ndarray:
     return sign * E2M1_VALUES[idx]
 
 
-def quantize_fp4(
-    x: np.ndarray, fmt: str = "mxfp4", axis: int = -1
-) -> Tuple[np.ndarray, Fp4Params]:
+def quantize_fp4(x: np.ndarray, fmt: str = "mxfp4", axis: int = -1) -> Tuple[np.ndarray, Fp4Params]:
     """Quantize to a micro-scaling FP4 format.
 
     MXFP4: block 32, power-of-two (E8M0) scale.  NVFP4: block 16, FP8-E4M3
@@ -238,13 +272,11 @@ def quantize_fp4(
         # mantissa (3 bits) and clamp to the format's range.
         mant, exp = np.frexp(raw_scale)
         mant = np.round(mant * 16) / 16  # 1 sign-free mantissa step of 2^-4
-        scale = np.clip(np.ldexp(mant, exp), 2.0 ** -9, E4M3_MAX)
+        scale = np.clip(np.ldexp(mant, exp), 2.0**-9, E4M3_MAX)
 
     q = _quantize_e2m1(grouped / scale[..., None]) * scale[..., None]
     out = np.moveaxis(q.reshape(moved.shape), -1, axis)
-    params = Fp4Params(
-        scale=scale.astype(np.float32), axis=axis, block_size=block, fmt=fmt
-    )
+    params = Fp4Params(scale=scale.astype(np.float32), axis=axis, block_size=block, fmt=fmt)
     return out, params
 
 

@@ -43,9 +43,7 @@ def ungroup_output(out: np.ndarray, hq: int, q_len: int = 1) -> np.ndarray:
     """Inverse transform: ``[batch, hkv, q_len*gq, d] -> [batch, q_len, hq, d]``."""
     out = np.asarray(out)
     if out.ndim != 4:
-        raise ValueError(
-            f"expected grouped output of rank 4 [batch, hkv, m, d], got {out.shape}"
-        )
+        raise ValueError(f"expected grouped output of rank 4 [batch, hkv, m, d], got {out.shape}")
     batch, hkv, m, d = out.shape
     if hq % hkv != 0:
         raise ValueError(f"hq ({hq}) must be a multiple of hkv ({hkv})")

@@ -121,3 +121,81 @@ class ResidualBuffer:
     def nbytes(self) -> int:
         """FP16 storage the residual occupies (constant, = 2 buffers)."""
         return self.k.nbytes + self.v.nbytes
+
+
+@dataclass
+class BatchedResidual:
+    """FP16 K/V residual for a whole ``[batch, hkv]`` cache, one tensor each.
+
+    The struct-of-arrays counterpart of per-(sequence, head)
+    :class:`ResidualBuffer` objects: ``k``/``v`` are
+    ``[batch, hkv, N_r, d]`` with a *shared* fill cursor — the paper's
+    padded "Batches" setting keeps every sequence at the same length, so
+    all ``batch x hkv`` residuals fill and flush in lock-step.  An append
+    is one slice write; a flush hands back all blocks at once for the
+    batched quantize+pack.
+    """
+
+    batch: int
+    hkv: int
+    capacity: int
+    head_dim: int
+    k: np.ndarray = field(init=False)
+    v: np.ndarray = field(init=False)
+    length: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if min(self.batch, self.hkv, self.capacity, self.head_dim) <= 0:
+            raise ValueError("batch, hkv, capacity and head_dim must be positive")
+        shape = (self.batch, self.hkv, self.capacity, self.head_dim)
+        self.k = np.zeros(shape, dtype=np.float16)
+        self.v = np.zeros(shape, dtype=np.float16)
+
+    @property
+    def is_full(self) -> bool:
+        return self.length == self.capacity
+
+    def append(
+        self, k_new: np.ndarray, v_new: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Append one token's K/V rows (``[batch, hkv, d]``) for every head.
+
+        Returns ``None`` while filling; when the append completes the block,
+        returns FP16 copies of all heads' blocks (``[batch, hkv, N_r, d]``)
+        and resets the shared cursor.
+        """
+        if self.is_full:
+            raise RuntimeError("append on a full residual buffer (missed flush)")
+        self.k[:, :, self.length] = np.asarray(k_new, dtype=np.float16)
+        self.v[:, :, self.length] = np.asarray(v_new, dtype=np.float16)
+        self.length += 1
+        if not self.is_full:
+            return None
+        block = (self.k.copy(), self.v.copy())
+        self.length = 0
+        return block
+
+    def fill(self, k_rows: np.ndarray, v_rows: np.ndarray) -> None:
+        """Bulk-load from a prefill remainder (``[batch, hkv, n, d]``, n < N_r)."""
+        k_rows = np.asarray(k_rows, dtype=np.float16)
+        v_rows = np.asarray(v_rows, dtype=np.float16)
+        n = k_rows.shape[2]
+        if n >= self.capacity:
+            raise ValueError(
+                f"prefill remainder ({n}) must be smaller than the block size "
+                f"({self.capacity}); pack complete blocks first"
+            )
+        if v_rows.shape[2] != n:
+            raise ValueError("K and V remainders must have equal length")
+        self.length = n
+        self.k[:, :, :n] = k_rows
+        self.v[:, :, :n] = v_rows
+
+    def view(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Valid (K, V) rows currently in the residual, ``[batch, hkv, len, d]``."""
+        return self.k[:, :, : self.length], self.v[:, :, : self.length]
+
+    @property
+    def nbytes(self) -> int:
+        """FP16 storage the residual occupies (constant, = 2 buffers)."""
+        return self.k.nbytes + self.v.nbytes

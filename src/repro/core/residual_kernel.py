@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,15 +30,19 @@ from repro.core.config import AttentionGeometry, BitDecodingConfig
 from repro.core.layouts import (
     MMA_M16N8K16_B,
     FragmentLayout,
+    _block_fragment_indices,
+    block_fragment_offsets,
     block_fragment_pack,
     block_fragment_unpack,
     tiled_layout,
 )
+from repro.core.packing import pack_values, unpack_values
 from repro.core.quantization import (
     Fp4Params,
     QuantParams,
     QuantScheme,
     dequantize,
+    quantize,
     quantize_fp4,
     quantize_key,
     quantize_value,
@@ -93,11 +97,22 @@ class PackedBlock:
                 f"({layout.name}) does not match the Residual Kernel's "
                 f"({self.layout_name}); Sec. IV-A(4) requires them identical"
             )
+        interleaved = config.dequant_method == "lop3"
         k_codes = block_fragment_unpack(
-            self.k_words, (self.head_dim, self.length), layout, self.bits, self.word_bits
+            self.k_words,
+            (self.head_dim, self.length),
+            layout,
+            self.bits,
+            self.word_bits,
+            interleaved=interleaved,
         )
         v_codes = block_fragment_unpack(
-            self.v_words, (self.length, self.head_dim), layout, self.bits, self.word_bits
+            self.v_words,
+            (self.length, self.head_dim),
+            layout,
+            self.bits,
+            self.word_bits,
+            interleaved=interleaved,
         )
         k_hat = dequantize(k_codes.T, self.k_params)
         v_hat = dequantize(v_codes, self.v_params)
@@ -140,9 +155,7 @@ class Fp4Block:
         return self.k_scales.nbytes + self.v_scales.nbytes
 
 
-def flush_block(
-    k_block: np.ndarray, v_block: np.ndarray, config: BitDecodingConfig
-):
+def flush_block(k_block: np.ndarray, v_block: np.ndarray, config: BitDecodingConfig):
     """Quantize + pack one full residual block (the fused flush).
 
     ``k_block`` / ``v_block`` are FP16 ``(N_r, d)``.  Returns a
@@ -178,9 +191,7 @@ def flush_block(
             granularity=key_scheme.granularity,
             group_size=key_axis_len,
         )
-    k_codes, k_params = quantize_key(
-        k_block, key_scheme, seq_axis=0, channel_axis=1
-    )
+    k_codes, k_params = quantize_key(k_block, key_scheme, seq_axis=0, channel_axis=1)
     v_codes, v_params = quantize_value(
         v_block, config.bits, min(config.value_group_size, d), channel_axis=1
     )
@@ -205,6 +216,259 @@ def flush_block(
     )
 
 
+# ---------------------------------------------------------------------------
+# Batched struct-of-arrays storage (the vectorized two-part cache)
+# ---------------------------------------------------------------------------
+
+
+def _concat_params(a: QuantParams, b: QuantParams, block_axis: int) -> QuantParams:
+    """Concatenate two batched :class:`QuantParams` along the block axis."""
+    if (a.axis, a.group_size, a.bits) != (b.axis, b.group_size, b.bits):
+        raise ValueError("cannot concatenate metadata of differently-quantized blocks")
+    return QuantParams(
+        scale=np.concatenate([a.scale, b.scale], axis=block_axis),
+        zero=np.concatenate([a.zero, b.zero], axis=block_axis),
+        axis=a.axis,
+        group_size=a.group_size,
+        bits=a.bits,
+    )
+
+
+@dataclass
+class PackedBlockBatch:
+    """All quantized+packed blocks of a cache, stored struct-of-arrays.
+
+    Block axis is axis 2: ``k_words``/``v_words`` are
+    ``[batch, hkv, n_blocks, tiles_r, tiles_c, 32, words_per_lane]`` (the
+    per-block fragment-order words of :func:`flush_block`, batched), and the
+    ``half2`` metadata inside ``k_params``/``v_params`` carries the same
+    ``[batch, hkv, n_blocks, ...]`` leading dims.  K blocks are packed in
+    ``(d, N_r)`` orientation, V blocks in ``(N_r, d)``, exactly as the
+    per-block :class:`PackedBlock` stores them.
+    """
+
+    length: int
+    head_dim: int
+    bits: int
+    word_bits: int
+    layout_name: str
+    k_words: np.ndarray
+    v_words: np.ndarray
+    k_params: QuantParams
+    v_params: QuantParams
+
+    @property
+    def batch(self) -> int:
+        return self.k_words.shape[0]
+
+    @property
+    def hkv(self) -> int:
+        return self.k_words.shape[1]
+
+    @property
+    def n_blocks(self) -> int:
+        return self.k_words.shape[2]
+
+    def extend(self, other: "PackedBlockBatch") -> "PackedBlockBatch":
+        """Append another batch of blocks (one flush) along the block axis."""
+        if (self.length, self.head_dim, self.bits, self.word_bits, self.layout_name) != (
+            other.length,
+            other.head_dim,
+            other.bits,
+            other.word_bits,
+            other.layout_name,
+        ):
+            raise ValueError("cannot extend with blocks of a different configuration")
+        return PackedBlockBatch(
+            length=self.length,
+            head_dim=self.head_dim,
+            bits=self.bits,
+            word_bits=self.word_bits,
+            layout_name=self.layout_name,
+            k_words=np.concatenate([self.k_words, other.k_words], axis=2),
+            v_words=np.concatenate([self.v_words, other.v_words], axis=2),
+            k_params=_concat_params(self.k_params, other.k_params, block_axis=2),
+            v_params=_concat_params(self.v_params, other.v_params, block_axis=2),
+        )
+
+    def dequant_kv(self, config: BitDecodingConfig) -> Tuple[np.ndarray, np.ndarray]:
+        """Unpack + dequantize every block in one batched pass.
+
+        Returns FP32 ``(K, V)`` of shape ``[batch, hkv, n_blocks * N_r, d]``
+        — all heads reconstructed through the real fragment-order unpack,
+        with no per-(batch, head, block) Python iteration.
+        """
+        layout = _kv_fragment_layout(config)
+        if layout.name != self.layout_name:
+            raise ValueError(
+                "Packing Kernel instruction configuration "
+                f"({layout.name}) does not match the Residual Kernel's "
+                f"({self.layout_name}); Sec. IV-A(4) requires them identical"
+            )
+        interleaved = config.dequant_method == "lop3"
+        n, d = self.length, self.head_dim
+        batch, hkv = self.batch, self.hkv
+
+        # The inverse fragment permutation turns the scatter back into a
+        # gather (``np.take``), which runs an order of magnitude faster
+        # than advanced-index assignment on 10^8-element caches.  K words
+        # address the (d, N_r) packing orientation; the transposed offsets
+        # land the codes straight in (N_r, d).
+        k_frag = unpack_values(self.k_words, self.bits, self.word_bits, interleaved=interleaved)
+        _, inv_k = block_fragment_offsets(layout, d, n, transposed=True)
+        k_codes = np.take(k_frag.reshape(batch, hkv, self.n_blocks, n * d), inv_k, axis=-1)
+        k_codes = k_codes.reshape(batch, hkv, self.n_blocks, n, d)
+
+        v_frag = unpack_values(self.v_words, self.bits, self.word_bits, interleaved=interleaved)
+        _, inv_v = block_fragment_offsets(layout, n, d)
+        v_codes = np.take(v_frag.reshape(batch, hkv, self.n_blocks, n * d), inv_v, axis=-1)
+        v_codes = v_codes.reshape(batch, hkv, self.n_blocks, n, d)
+
+        k_hat = dequantize(k_codes, self.k_params)
+        v_hat = dequantize(v_codes, self.v_params)
+        return (
+            k_hat.reshape(batch, hkv, self.n_blocks * n, d),
+            v_hat.reshape(batch, hkv, self.n_blocks * n, d),
+        )
+
+    @property
+    def packed_nbytes(self) -> int:
+        """Packed-word bytes, from array shapes in O(1)."""
+        return self.k_words.nbytes + self.v_words.nbytes
+
+    @property
+    def meta_nbytes(self) -> float:
+        """half2 metadata bytes, from array shapes in O(1)."""
+        return self.k_params.nbytes + self.v_params.nbytes
+
+
+@dataclass
+class Fp4BlockBatch:
+    """All micro-scaling FP4 blocks of a cache, struct-of-arrays (axis 2)."""
+
+    length: int
+    head_dim: int
+    fmt: str
+    k_values: np.ndarray  # [batch, hkv, n_blocks, N_r, d] fp16
+    v_values: np.ndarray
+    k_scales: Fp4Params
+    v_scales: Fp4Params
+
+    @property
+    def batch(self) -> int:
+        return self.k_values.shape[0]
+
+    @property
+    def hkv(self) -> int:
+        return self.k_values.shape[1]
+
+    @property
+    def n_blocks(self) -> int:
+        return self.k_values.shape[2]
+
+    def extend(self, other: "Fp4BlockBatch") -> "Fp4BlockBatch":
+        if (self.length, self.head_dim, self.fmt) != (other.length, other.head_dim, other.fmt):
+            raise ValueError("cannot extend with blocks of a different configuration")
+
+        def cat(a: Fp4Params, b: Fp4Params) -> Fp4Params:
+            return Fp4Params(
+                scale=np.concatenate([a.scale, b.scale], axis=2),
+                axis=a.axis,
+                block_size=a.block_size,
+                fmt=a.fmt,
+            )
+
+        return Fp4BlockBatch(
+            length=self.length,
+            head_dim=self.head_dim,
+            fmt=self.fmt,
+            k_values=np.concatenate([self.k_values, other.k_values], axis=2),
+            v_values=np.concatenate([self.v_values, other.v_values], axis=2),
+            k_scales=cat(self.k_scales, other.k_scales),
+            v_scales=cat(self.v_scales, other.v_scales),
+        )
+
+    def dequant_kv(self, config: BitDecodingConfig) -> Tuple[np.ndarray, np.ndarray]:
+        batch, hkv, nb = self.k_values.shape[:3]
+        flat = (batch, hkv, nb * self.length, self.head_dim)
+        return (
+            self.k_values.astype(np.float32).reshape(flat),
+            self.v_values.astype(np.float32).reshape(flat),
+        )
+
+    @property
+    def packed_nbytes(self) -> int:
+        # 2 tensors x 4 bits per value, as the per-block accounting.
+        return int(self.batch * self.hkv * self.n_blocks * self.length * self.head_dim)
+
+    @property
+    def meta_nbytes(self) -> float:
+        return self.k_scales.nbytes + self.v_scales.nbytes
+
+
+def flush_blocks(
+    k_blocks: np.ndarray, v_blocks: np.ndarray, config: BitDecodingConfig
+) -> Union[PackedBlockBatch, Fp4BlockBatch]:
+    """Quantize + pack a batch of residual blocks in single numpy ops.
+
+    ``k_blocks`` / ``v_blocks`` are ``[batch, hkv, n_blocks, N_r, d]``.  The
+    group statistics, affine quantization, fragment gather and word packing
+    each run once over the whole tensor — the vectorized equivalent of
+    calling :func:`flush_block` per (batch, head, block), bit-exact because
+    no quantization group ever crosses a block boundary.
+    """
+    k_blocks = np.asarray(k_blocks, dtype=np.float32)
+    v_blocks = np.asarray(v_blocks, dtype=np.float32)
+    if k_blocks.ndim != 5 or k_blocks.shape != v_blocks.shape:
+        raise ValueError("K and V blocks must share a [batch, hkv, n_blocks, N_r, d] shape")
+    batch, hkv, nb, n, d = k_blocks.shape
+
+    if config.version == "fp4":
+        k_vals, k_scales = quantize_fp4(k_blocks, config.fp4_format, axis=-1)
+        v_vals, v_scales = quantize_fp4(v_blocks, config.fp4_format, axis=-1)
+        return Fp4BlockBatch(
+            length=n,
+            head_dim=d,
+            fmt=config.fp4_format,
+            k_values=k_vals.astype(np.float16),
+            v_values=v_vals.astype(np.float16),
+            k_scales=k_scales,
+            v_scales=v_scales,
+        )
+
+    # Group sizes clamp to the block's actual extents, as in flush_block.
+    key_axis_len = n if config.granularity == "channel" else d
+    key_group = min(config.key_group_size, key_axis_len)
+    key_axis = -2 if config.granularity == "channel" else -1
+    k_codes, k_params = quantize(k_blocks, config.bits, key_axis, key_group)
+    v_codes, v_params = quantize(v_blocks, config.bits, -1, min(config.value_group_size, d))
+
+    layout = _kv_fragment_layout(config)
+    interleaved = config.dequant_method == "lop3"
+    # Fragment gathers via flattened ``np.take`` offsets; the K offsets
+    # address the (d, N_r) packing orientation on the contiguous (N_r, d)
+    # codes (transposed=True), so no transpose is ever materialized.
+    k_frag_shape = _block_fragment_indices(layout, d, n)[0].shape
+    flat_k, _ = block_fragment_offsets(layout, d, n, transposed=True)
+    k_frag = np.take(k_codes.reshape(batch, hkv, nb, n * d), flat_k, axis=-1)
+    k_frag = k_frag.reshape(batch, hkv, nb, *k_frag_shape)
+    v_frag_shape = _block_fragment_indices(layout, n, d)[0].shape
+    flat_v, _ = block_fragment_offsets(layout, n, d)
+    v_frag = np.take(v_codes.reshape(batch, hkv, nb, n * d), flat_v, axis=-1)
+    v_frag = v_frag.reshape(batch, hkv, nb, *v_frag_shape)
+    return PackedBlockBatch(
+        length=n,
+        head_dim=d,
+        bits=config.bits,
+        word_bits=config.word_bits,
+        layout_name=layout.name,
+        k_words=pack_values(k_frag, config.bits, config.word_bits, interleaved=interleaved),
+        v_words=pack_values(v_frag, config.bits, config.word_bits, interleaved=interleaved),
+        k_params=k_params,
+        v_params=v_params,
+    )
+
+
 def attend_residual(
     q_grouped: np.ndarray,
     k_res: np.ndarray,
@@ -214,19 +478,24 @@ def attend_residual(
 ) -> OnlineSoftmaxState:
     """Attention of grouped queries over the FP16 residual rows.
 
-    ``q_grouped``: ``(M, d)`` for one (batch, kv-head); ``k_res``/``v_res``:
-    ``(res_len, d)``.  Returns the partial online-softmax state, merged by
-    the caller with the Packing Kernel's state.
+    ``q_grouped``: ``(..., M, d)``; ``k_res``/``v_res``: ``(..., res_len, d)``.
+    Leading dims (if any) are independent (batch, kv-head) problems — the
+    vectorized cache passes ``[batch, hkv, M, d]`` queries so every head's
+    residual attention runs in one batched update.  Returns the partial
+    online-softmax state, merged by the caller with the Packing Kernel's
+    state.
     """
     q_grouped = np.asarray(q_grouped, dtype=np.float32)
     k_res = np.asarray(k_res, dtype=np.float32)
     v_res = np.asarray(v_res, dtype=np.float32)
     if scale is None:
         scale = 1.0 / math.sqrt(q_grouped.shape[-1])
-    state = OnlineSoftmaxState.fresh(q_grouped.shape[0], v_res.shape[-1])
-    if k_res.shape[0] == 0:
+    state = OnlineSoftmaxState.fresh(
+        q_grouped.shape[-2], v_res.shape[-1], leading=q_grouped.shape[:-2]
+    )
+    if k_res.shape[-2] == 0:
         return state
-    s = (q_grouped @ k_res.T) * scale
+    s = (q_grouped @ np.swapaxes(k_res, -1, -2)) * scale
     v_tile = v_res
     # Pad the partial residual to the warp split (-inf scores / zero rows),
     # exactly as the kernel pads its warp tiles.
@@ -234,11 +503,10 @@ def attend_residual(
     remainder = s.shape[-1] % wn
     if remainder:
         pad = wn - remainder
-        s = np.concatenate(
-            [s, np.full((s.shape[0], pad), -np.inf, dtype=s.dtype)], axis=-1
-        )
+        s = np.concatenate([s, np.full((*s.shape[:-1], pad), -np.inf, dtype=s.dtype)], axis=-1)
         v_tile = np.concatenate(
-            [v_tile, np.zeros((pad, v_tile.shape[-1]), dtype=v_tile.dtype)], axis=0
+            [v_tile, np.zeros((*v_tile.shape[:-2], pad, v_tile.shape[-1]), dtype=v_tile.dtype)],
+            axis=-2,
         )
     tile_softmax_split(state, s, v_tile, wn, cooperative=config.use_coop_softmax)
     return state
@@ -305,9 +573,7 @@ def build_residual_launch(
     smem = 2 * stage_rows * d * 2 + m_pad * d * 2 + 4096
     # The residual path is FP16 (no dequant in the hot loop); overlap is
     # governed by occupancy and the async-copy pipeline.
-    hide = memory_hide_factor(
-        2.0 * warp_layout.warps_per_block, pipelined=config.use_pipeline
-    )
+    hide = memory_hide_factor(2.0 * warp_layout.warps_per_block, pipelined=config.use_pipeline)
     return KernelLaunch(
         name="residual_kernel",
         trace=trace,
@@ -321,9 +587,7 @@ def build_residual_launch(
     )
 
 
-def _meta_bytes(
-    heads: float, n_tokens: float, d: float, config: BitDecodingConfig
-) -> float:
+def _meta_bytes(heads: float, n_tokens: float, d: float, config: BitDecodingConfig) -> float:
     """Metadata bytes (scale/zero or block scales) for ``n_tokens`` per head."""
     if config.version == "fp4":
         block = 32 if config.fp4_format == "mxfp4" else 16

@@ -18,7 +18,7 @@ the benchmark can demonstrate the invalidity rather than assert it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -43,8 +43,10 @@ def reference_attention(
 class OnlineSoftmaxState:
     """Per-row running state of the flash-style online softmax.
 
-    ``m``: running maxima ``(M,)``; ``l``: running denominators ``(M,)``;
-    ``acc``: unnormalized output accumulator ``(M, d)``.
+    ``m``: running maxima ``(..., M)``; ``l``: running denominators
+    ``(..., M)``; ``acc``: unnormalized output accumulator ``(..., M, d)``.
+    The leading ``...`` dims (if any) are independent problems — the
+    vectorized cache runs every ``(batch, kv-head)`` pair through one state.
     """
 
     m: np.ndarray
@@ -52,24 +54,26 @@ class OnlineSoftmaxState:
     acc: np.ndarray
 
     @classmethod
-    def fresh(cls, n_rows: int, head_dim: int) -> "OnlineSoftmaxState":
+    def fresh(
+        cls, n_rows: int, head_dim: int, leading: Tuple[int, ...] = ()
+    ) -> "OnlineSoftmaxState":
         return cls(
-            m=np.full(n_rows, -np.inf, dtype=np.float32),
-            l=np.zeros(n_rows, dtype=np.float32),
-            acc=np.zeros((n_rows, head_dim), dtype=np.float32),
+            m=np.full((*leading, n_rows), -np.inf, dtype=np.float32),
+            l=np.zeros((*leading, n_rows), dtype=np.float32),
+            acc=np.zeros((*leading, n_rows, head_dim), dtype=np.float32),
         )
 
     def update(self, scores: np.ndarray, values: np.ndarray) -> None:
-        """Fold one tile: ``scores`` is ``(M, Tn)``, ``values`` ``(Tn, d)``."""
+        """Fold one tile: ``scores`` is ``(..., M, Tn)``, ``values`` ``(..., Tn, d)``."""
         scores = np.asarray(scores, dtype=np.float32)
         values = np.asarray(values, dtype=np.float32)
         tile_max = scores.max(axis=-1)
         m_new = np.maximum(self.m, tile_max)
         correction = np.exp(self.m - m_new)
         correction = np.where(np.isfinite(correction), correction, 0.0)
-        p = np.exp(scores - m_new[:, None])
+        p = np.exp(scores - m_new[..., None])
         self.l = self.l * correction + p.sum(axis=-1)
-        self.acc = self.acc * correction[:, None] + p @ values
+        self.acc = self.acc * correction[..., None] + p @ values
         self.m = m_new
 
     def merge(self, other: "OnlineSoftmaxState") -> None:
@@ -78,14 +82,14 @@ class OnlineSoftmaxState:
         c_self = np.where(np.isfinite(self.m), np.exp(self.m - m_new), 0.0)
         c_other = np.where(np.isfinite(other.m), np.exp(other.m - m_new), 0.0)
         self.l = self.l * c_self + other.l * c_other
-        self.acc = self.acc * c_self[:, None] + other.acc * c_other[:, None]
+        self.acc = self.acc * c_self[..., None] + other.acc * c_other[..., None]
         self.m = m_new
 
     def finalize(self) -> np.ndarray:
-        """Normalized attention output ``(M, d)``."""
+        """Normalized attention output ``(..., M, d)``."""
         if np.any(self.l <= 0):
             raise ValueError("finalize called with empty softmax state")
-        return self.acc / self.l[:, None]
+        return self.acc / self.l[..., None]
 
 
 def tile_softmax_split(
@@ -97,8 +101,10 @@ def tile_softmax_split(
 ) -> None:
     """Update ``state`` with a tile processed by ``wn`` warps along N.
 
-    Models Algorithm 1 at warp granularity.  The N axis of ``scores`` is
-    partitioned into ``wn`` contiguous warp slices:
+    Models Algorithm 1 at warp granularity.  ``scores`` is ``(..., M, Tn)``
+    and ``values`` ``(..., Tn, d)``; any leading dims are independent
+    (batch, kv-head) problems updated in one shot.  The N axis of
+    ``scores`` is partitioned into ``wn`` contiguous warp slices:
 
     - ``cooperative=True``: warps exchange local row maxima through the
       shared ``sTMP`` buffer before exponentiating; ``P`` slices staged in
@@ -116,7 +122,7 @@ def tile_softmax_split(
     slice_n = n // wn
     slices = [slice(w * slice_n, (w + 1) * slice_n) for w in range(wn)]
 
-    local_max = np.stack([scores[:, s].max(axis=-1) for s in slices], axis=0)
+    local_max = np.stack([scores[..., s].max(axis=-1) for s in slices], axis=0)
 
     if cooperative or wn == 1:
         # sTMP cross-warp reduction: every warp sees the true tile max.
@@ -125,9 +131,9 @@ def tile_softmax_split(
         correction = np.where(np.isfinite(state.m), np.exp(state.m - m_new), 0.0)
         s_acc = np.empty_like(scores)
         for w, s in enumerate(slices):
-            s_acc[:, s] = np.exp(scores[:, s] - m_new[:, None])  # staged P
+            s_acc[..., s] = np.exp(scores[..., s] - m_new[..., None])  # staged P
         state.l = state.l * correction + s_acc.sum(axis=-1)
-        state.acc = state.acc * correction[:, None] + s_acc @ values
+        state.acc = state.acc * correction[..., None] + s_acc @ values
         state.m = m_new
         return
 
@@ -142,9 +148,9 @@ def tile_softmax_split(
     correction = np.where(np.isfinite(state.m), np.exp(state.m - m_new), 0.0)
     s_acc = np.empty_like(scores)
     for w, s in enumerate(slices):
-        s_acc[:, s] = np.exp(scores[:, s] - safe_max[w][:, None])
+        s_acc[..., s] = np.exp(scores[..., s] - safe_max[w][..., None])
     state.l = state.l * correction + s_acc.sum(axis=-1)
-    state.acc = state.acc * correction[:, None] + s_acc @ values
+    state.acc = state.acc * correction[..., None] + s_acc @ values
     state.m = m_new
 
 

@@ -55,6 +55,32 @@ class PagedKVStore:
         self.k_pages[page, offset] = k_row
         self.v_pages[page, offset] = v_row
 
+    def append_rows(self, seq_id: int, k_rows: np.ndarray, v_rows: np.ndarray) -> None:
+        """Append ``n`` tokens' K/V rows (``(n, d)``) in page-sized slabs.
+
+        The chunked-prefill path lands hundreds of rows per scheduler
+        quantum; writing them page by page instead of token by token keeps
+        the paged store off the per-token Python path the vectorized cache
+        just removed.
+        """
+        k_rows = np.asarray(k_rows, dtype=np.float16).reshape(-1, self.head_dim)
+        v_rows = np.asarray(v_rows, dtype=np.float16).reshape(-1, self.head_dim)
+        if k_rows.shape != v_rows.shape:
+            raise ValueError("K and V row batches must share a shape")
+        n = k_rows.shape[0]
+        seq = self.table.sequences[seq_id]
+        start = seq.length
+        # All-or-nothing page reservation: an OutOfPagesError leaves the
+        # sequence untouched, so a preempting caller can retry the chunk.
+        self.table.extend_sequence(seq_id, n)
+        written = 0
+        while written < n:
+            page, offset = seq.lookup(start + written)
+            take = min(self.page_size - offset, n - written)
+            self.k_pages[page, offset : offset + take] = k_rows[written : written + take]
+            self.v_pages[page, offset : offset + take] = v_rows[written : written + take]
+            written += take
+
     def gather(self, seq_id: int) -> Tuple[np.ndarray, np.ndarray]:
         """All of a sequence's rows in logical order (the kernel's view)."""
         seq = self.table.sequences[seq_id]

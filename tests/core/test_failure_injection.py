@@ -17,15 +17,17 @@ from repro.core.quantization import quantize
 class TestCorruption:
     def test_flipped_word_changes_decode_output(self, rng):
         """Bit flips in the packed cache must propagate to the output —
-        the layout round trip is lossless, including for damage."""
+        the layout round trip is lossless, including for damage.  In-place
+        mutation bypasses the flush-epoch bookkeeping, so the memoized
+        reconstruction must be dropped explicitly."""
         engine = BitDecoding(BitDecodingConfig(bits=4), "a100")
         k = rng.standard_normal((1, 1, 256, 32)).astype(np.float16)
         v = rng.standard_normal((1, 1, 256, 32)).astype(np.float16)
         cache = engine.prefill(k, v)
         q = rng.standard_normal((1, 1, 4, 32)).astype(np.float16)
         clean = engine.decode(q, cache)
-        block = cache.blocks[0][0][0]
-        block.v_words.flat[::7] ^= np.uint16(0xFFFF)  # corrupt V storage
+        cache.packed.v_words.flat[::7] ^= np.uint16(0xFFFF)  # corrupt V storage
+        cache.invalidate_dequant_cache()
         corrupted = engine.decode(q, cache)
         assert not np.allclose(clean, corrupted, atol=1e-3)
 
@@ -35,8 +37,25 @@ class TestCorruption:
         v = rng.standard_normal((1, 1, 128, 32)).astype(np.float16)
         cache = engine.prefill(k, v)
         k_before, _ = cache.dequantized_packed(0, 0)
-        cache.blocks[0][0][0].k_params.scale *= 3.0
+        k_before = k_before.copy()
+        cache.packed.k_params.scale *= 3.0
+        cache.invalidate_dequant_cache()
         k_after, _ = cache.dequantized_packed(0, 0)
+        assert np.abs(k_after - k_before).max() > 0.1
+
+    def test_memoized_dequant_masks_mutation_until_invalidated(self, rng):
+        """The other side of the memoization contract: without an
+        invalidate (or a flush), the cached reconstruction is returned."""
+        engine = BitDecoding(BitDecodingConfig(bits=4), "a100")
+        k = rng.standard_normal((1, 1, 128, 32)).astype(np.float16)
+        v = rng.standard_normal((1, 1, 128, 32)).astype(np.float16)
+        cache = engine.prefill(k, v)
+        k_before, _ = cache.dequant_kv()
+        cache.packed.k_params.scale *= 3.0
+        k_memo, _ = cache.dequant_kv()
+        assert k_memo is k_before  # same cached array, no re-dequant
+        cache.invalidate_dequant_cache()
+        k_after, _ = cache.dequant_kv()
         assert np.abs(k_after - k_before).max() > 0.1
 
 
@@ -70,9 +89,8 @@ class TestConfigMismatch:
         k = rng.standard_normal((1, 1, 128, 32)).astype(np.float16)
         v = rng.standard_normal((1, 1, 128, 32)).astype(np.float16)
         cache = engine4.prefill(k, v)
-        block = cache.blocks[0][0][0]
         with pytest.raises(ValueError, match="instruction configuration"):
-            block.dequant_kv(BitDecodingConfig(bits=2))
+            cache.packed.dequant_kv(BitDecodingConfig(bits=2))
 
     def test_cache_and_engine_bits_must_agree(self, rng):
         """Decoding a 4-bit cache with a 2-bit engine's Packing Kernel

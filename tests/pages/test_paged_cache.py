@@ -26,6 +26,31 @@ class TestPagedStore:
         k, v = store.gather(sid)
         assert k.shape == (0, 8)
 
+    def test_append_rows_matches_per_token_appends(self, rng):
+        """The slab write is a pure batching of append(): same pages, same
+        gather, including across page boundaries and a pre-filled tail."""
+        slab = PagedKVStore(n_pages=16, page_size=4, head_dim=8)
+        loop = PagedKVStore(n_pages=16, page_size=4, head_dim=8)
+        sid_a, sid_b = slab.add_sequence(), loop.add_sequence()
+        head = rng.standard_normal((3, 8)).astype(np.float16)
+        rows = rng.standard_normal((10, 8)).astype(np.float16)
+        for i in range(3):
+            slab.append(sid_a, head[i], -head[i])
+            loop.append(sid_b, head[i], -head[i])
+        slab.append_rows(sid_a, rows, -rows)
+        for i in range(10):
+            loop.append(sid_b, rows[i], -rows[i])
+        k_a, v_a = slab.gather(sid_a)
+        k_b, v_b = loop.gather(sid_b)
+        np.testing.assert_array_equal(k_a, k_b)
+        np.testing.assert_array_equal(v_a, v_b)
+
+    def test_append_rows_rejects_mismatched_kv(self, rng):
+        store = PagedKVStore(4, 4, 8)
+        sid = store.add_sequence()
+        with pytest.raises(ValueError, match="share a shape"):
+            store.append_rows(sid, np.zeros((3, 8)), np.zeros((2, 8)))
+
     def test_recycled_pages_interleave_correctly(self, rng):
         """A sequence written after another was released must read back its
         own rows even though its pages are physically scattered."""

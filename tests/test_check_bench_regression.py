@@ -82,6 +82,45 @@ class TestCompare:
         assert len(checker.compare(current, baseline, threshold=0.02)) == 1
 
 
+def _kernels_point(speedup=25.0, flatness=1.1):
+    return {"speedup_decode_step": speedup, "decode_step_flatness": flatness}
+
+
+class TestCompareKernels:
+    def test_healthy_point_passes(self):
+        checker = _load_checker()
+        assert checker.compare_kernels(_kernels_point(), _kernels_point()) == []
+
+    def test_speedup_below_floor_fails(self):
+        checker = _load_checker()
+        failures = checker.compare_kernels(_kernels_point(speedup=6.0))
+        assert len(failures) == 1
+        assert "6.0x" in failures[0]
+
+    def test_growing_step_time_fails(self):
+        """The memoization contract: no-flush decode steps must stay flat."""
+        checker = _load_checker()
+        failures = checker.compare_kernels(_kernels_point(flatness=3.5))
+        assert len(failures) == 1
+        assert "memo" in failures[0]
+
+    def test_floors_are_tunable(self):
+        checker = _load_checker()
+        point = _kernels_point(speedup=6.0, flatness=3.5)
+        assert checker.compare_kernels(point, min_speedup=5.0, max_flatness=4.0) == []
+
+    def test_missing_fields_fail_not_crash(self):
+        checker = _load_checker()
+        failures = checker.compare_kernels({})
+        assert len(failures) == 2
+
+    def test_committed_kernels_baseline_is_gated_shape(self):
+        """The baseline's kernels entry must itself pass the default gate."""
+        checker = _load_checker()
+        baseline = json.loads((REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+        assert checker.compare_kernels(baseline["kernels"], baseline["kernels"]) == []
+
+
 class TestCli:
     def _run(self, tmp_path, current, baseline, *extra):
         cur = tmp_path / "current.json"
@@ -105,6 +144,22 @@ class TestCli:
         result = self._run(tmp_path, current, baseline)
         assert result.returncode == 1
         assert "REGRESSION" in result.stdout
+
+    def test_kernels_gate_plumbs_through_cli(self, tmp_path, baseline):
+        kern = tmp_path / "kernels.json"
+        kern.write_text(json.dumps(_kernels_point(speedup=4.0)))
+        baseline_with_kernels = copy.deepcopy(baseline)
+        baseline_with_kernels["kernels"] = _kernels_point()
+        result = self._run(
+            tmp_path, copy.deepcopy(baseline), baseline_with_kernels, "--kernels", str(kern)
+        )
+        assert result.returncode == 1
+        assert "4.0x" in result.stdout
+        kern.write_text(json.dumps(_kernels_point(speedup=40.0)))
+        result = self._run(
+            tmp_path, copy.deepcopy(baseline), baseline_with_kernels, "--kernels", str(kern)
+        )
+        assert result.returncode == 0
 
     def test_committed_baseline_matches_engine_output(self):
         """A fresh deterministic run must pass the gate against the
