@@ -13,13 +13,17 @@ disappear.  Reported but not gated: p99 TBT and p99 TTFT shifts, because
 the chunked-prefill knob deliberately trades one against the other.
 
 With ``--kernels BENCH_kernels.json`` (see
-``benchmarks/bench_kernel_hotpath.py``) the decode hot path is gated too:
-the vectorized cache must stay at least ``--min-speedup`` (default 10x)
-faster per decode step than the retained per-block reference, and the
-per-step wall time must stay flat (max/min <= ``--max-flatness``) in the
-no-flush regime.  Speedup and flatness are same-machine ratios, so they
-are stable across runner hardware where absolute milliseconds are not;
-drift against the baseline's recorded speedup is reported, not gated.
+``benchmarks/bench_kernel_hotpath.py``) the kernel hot paths are gated
+too: the vectorized cache must stay at least ``--min-speedup`` (default
+25x) faster per decode step and ``--min-prefill-speedup`` (default 3x)
+faster at whole-prompt quantize+pack than the retained per-block
+reference, and the per-step wall time must stay flat (max/min <=
+``--max-flatness``) in the no-flush regime.  The committed baseline may
+carry its own ``kernels.floors`` entry; explicit CLI flags override it.
+Speedup and flatness are same-machine ratios, so they are stable across
+runner hardware where absolute milliseconds are not; drift against the
+baseline's recorded speedups (and the ungated transformer step time) is
+reported, not gated.
 
 Exit status is non-zero on any gated regression, which is what CI's
 ``bench`` job gates on.  When a throughput change is intentional, refresh
@@ -36,7 +40,10 @@ import json
 import sys
 
 DEFAULT_THRESHOLD = 0.10
-DEFAULT_MIN_SPEEDUP = 10.0
+#: Decode-step floor, ratcheted 10x -> 25x when the tile walk was fused.
+DEFAULT_MIN_SPEEDUP = 25.0
+#: Prefill quantize+pack floor, introduced with the chunked fused flush.
+DEFAULT_MIN_PREFILL_SPEEDUP = 3.0
 DEFAULT_MAX_FLATNESS = 2.0
 
 
@@ -75,25 +82,62 @@ def compare(current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD)
 def compare_kernels(
     kernels: dict,
     baseline_kernels: dict | None = None,
-    min_speedup: float = DEFAULT_MIN_SPEEDUP,
-    max_flatness: float = DEFAULT_MAX_FLATNESS,
+    min_speedup: float | None = None,
+    min_prefill_speedup: float | None = None,
+    max_flatness: float | None = None,
 ) -> list[str]:
-    """Gate the decode hot-path microbenchmark (empty list = pass)."""
+    """Gate the kernel hot-path microbenchmark (empty list = pass).
+
+    Floors resolve as: explicit argument > the baseline's
+    ``kernels.floors`` entry > the module defaults.
+    """
+    floors = (baseline_kernels or {}).get("floors", {})
+    if min_speedup is None:
+        min_speedup = floors.get("decode_step_speedup", DEFAULT_MIN_SPEEDUP)
+    if min_prefill_speedup is None:
+        min_prefill_speedup = floors.get("prefill_pack_speedup", DEFAULT_MIN_PREFILL_SPEEDUP)
+    if max_flatness is None:
+        max_flatness = floors.get("max_flatness", DEFAULT_MAX_FLATNESS)
+
     failures: list[str] = []
     speedup = kernels.get("speedup_decode_step")
+    prefill = kernels.get("speedup_prefill_pack")
     flatness = kernels.get("decode_step_flatness")
     base_speedup = (baseline_kernels or {}).get("speedup_decode_step")
+    base_prefill = (baseline_kernels or {}).get("speedup_prefill_pack")
     speedup_s = "n/a" if speedup is None else f"{speedup:.1f}x"
+    prefill_s = "n/a" if prefill is None else f"{prefill:.1f}x"
     flatness_s = "n/a" if flatness is None else f"{flatness:.2f}"
     print(
         f"kernels: decode-step speedup {speedup_s} "
         f"(floor {min_speedup:.0f}x, baseline {_pct(speedup, base_speedup)}), "
+        f"prefill-pack speedup {prefill_s} "
+        f"(floor {min_prefill_speedup:.0f}x, baseline {_pct(prefill, base_prefill)}), "
         f"flatness {flatness_s} (max {max_flatness:.1f})"
     )
+    transformer = kernels.get("transformer")
+    if transformer:
+        base_tf = (baseline_kernels or {}).get("transformer") or {}
+        engine_ms = transformer.get("engine_step_ms")
+        exact_ms = transformer.get("exact_step_ms")
+        engine_s = "n/a" if engine_ms is None else f"{engine_ms:.1f} ms"
+        exact_s = "n/a" if exact_ms is None else f"{exact_ms:.1f} ms"
+        print(
+            f"kernels: transformer decode step engine {engine_s} "
+            f"({_pct(engine_ms, base_tf.get('engine_step_ms'))} vs baseline), "
+            f"exact {exact_s} "
+            f"({_pct(exact_ms, base_tf.get('exact_step_ms'))} vs baseline) "
+            "[reported, not gated]"
+        )
     if speedup is None or speedup < min_speedup:
         failures.append(
             f"kernels: vectorized decode step is only {speedup_s} the per-block "
             f"reference (floor {min_speedup:.0f}x)"
+        )
+    if prefill is None or prefill < min_prefill_speedup:
+        failures.append(
+            f"kernels: vectorized prefill pack is only {prefill_s} the per-block "
+            f"reference (floor {min_prefill_speedup:.0f}x)"
         )
     if flatness is None or flatness > max_flatness:
         failures.append(
@@ -122,14 +166,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--min-speedup",
         type=float,
-        default=DEFAULT_MIN_SPEEDUP,
-        help="min vectorized-vs-reference decode-step speedup (default 10)",
+        default=None,
+        help="min vectorized-vs-reference decode-step speedup "
+        f"(default: baseline floors, else {DEFAULT_MIN_SPEEDUP:.0f})",
+    )
+    parser.add_argument(
+        "--min-prefill-speedup",
+        type=float,
+        default=None,
+        help="min vectorized-vs-reference prefill quantize+pack speedup "
+        f"(default: baseline floors, else {DEFAULT_MIN_PREFILL_SPEEDUP:.0f})",
     )
     parser.add_argument(
         "--max-flatness",
         type=float,
-        default=DEFAULT_MAX_FLATNESS,
-        help="max steady-step max/min wall-time ratio (default 2.0)",
+        default=None,
+        help="max steady-step max/min wall-time ratio "
+        f"(default: baseline floors, else {DEFAULT_MAX_FLATNESS})",
     )
     args = parser.parse_args(argv)
     with open(args.current) as fh:
@@ -144,6 +197,7 @@ def main(argv: list[str] | None = None) -> int:
             kernels,
             baseline.get("kernels"),
             min_speedup=args.min_speedup,
+            min_prefill_speedup=args.min_prefill_speedup,
             max_flatness=args.max_flatness,
         )
     if failures:

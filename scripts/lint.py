@@ -29,8 +29,7 @@ LINT_TARGETS = ["src", "tests", "benchmarks", "examples", "scripts"]
 FORMAT_TARGETS = [
     "scripts",
     "src/repro/core",
-    "src/repro/model/inference.py",
-    "src/repro/model/memory.py",
+    "src/repro/model",
     "src/repro/pages",
     "src/repro/serving",
     "tests/pages",

@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.config import AttentionGeometry, BitDecodingConfig
 from repro.core.query_transform import gemm_m_dimension
 from repro.core.quantization import quantize_fp4
-from repro.core.softmax import OnlineSoftmaxState, tile_softmax_split
+from repro.core.softmax import OnlineSoftmaxState, pad_tail, tile_softmax_split
 from repro.gpu.arch import ArchSpec
 from repro.gpu.instructions import (
     dequant_ops,
@@ -38,6 +38,17 @@ from repro.gpu.warp import WarpLayout, combined_hide_factor
 
 #: Target resident blocks per SM when choosing the split-KV factor.
 _SPLIT_TARGET_BLOCKS_PER_SM = 2
+
+#: Documented tolerance of the ``fused`` numerics mode vs ``exact_tiled``,
+#: as max |fused - tiled| / max(1, max |tiled|) per decode output.  The
+#: bounds come from a sweep over bits {1, 2, 4, 8}, both granularities and
+#: both FP4 formats (random fp16 K/V, contexts up to several N_r blocks):
+#: integer paths differ only by fp32 summation order (measured <= ~2e-6);
+#: the FP4 path also re-quantizes P against the global row maximum instead
+#: of the per-tile running maximum (measured <= ~3.5e-2).  The committed
+#: tolerances carry headroom; ``tests/core/test_vectorized_cache.py``
+#: enforces them as the dual-mode contract.
+FUSED_NUMERICS_TOLERANCE = {"int": 1e-5, "fp4": 7.5e-2}
 
 
 def choose_splits(
@@ -78,16 +89,35 @@ def run_numeric(
     passes ``[batch, hkv, ...]`` tensors so the whole decode batch walks
     each tile in one numpy update, with no per-head Python loop.
 
-    Walks the same ``tile_n``-wide tiles as the GPU kernel and applies the
-    cooperative (or deliberately non-cooperative) softmax per tile.  On the
-    Blackwell native path the probability tile is re-quantized to FP4
-    before the PV product, reproducing that path's extra numeric error.
+    Two numerics modes (``config.numerics_mode``):
+
+    - ``fused`` (default): one batched QK^T over the entire packed range
+      followed by a two-pass softmax — no Python tile loop at all.  Fusing
+      changes BLAS summation order, so the result is *tolerance*-equal to
+      the tiled walk, not bit-equal (see
+      ``tests/core/test_vectorized_cache.py`` for the dual-mode contract).
+    - ``exact_tiled``: walks the same ``tile_n``-wide tiles as the GPU
+      kernel through the online softmax, bit-identical to the seed
+      implementation.
+
+    The deliberately non-cooperative softmax ablation (``Wn > 1`` with
+    ``use_coop_softmax=False``) is tile-structured by definition — each
+    warp's wrong local maximum lives inside a tile — so it always takes
+    the tiled walk regardless of mode.  Split-KV (:func:`split_states`)
+    fuses *within* each partition and still merges partial states through
+    the reduction kernel.  On the Blackwell native path the probability
+    tile is re-quantized to FP4 before the PV product, reproducing that
+    path's extra numeric error in both modes.
     """
     q_grouped = np.asarray(q_grouped, dtype=np.float32)
     k_hat = np.asarray(k_hat, dtype=np.float32)
     v_hat = np.asarray(v_hat, dtype=np.float32)
     if scale is None:
         scale = 1.0 / math.sqrt(q_grouped.shape[-1])
+
+    coop = config.use_coop_softmax or config.effective_wn == 1
+    if config.numerics_mode == "fused" and coop:
+        return _run_fused(q_grouped, k_hat, v_hat, config, scale)
 
     state = OnlineSoftmaxState.fresh(
         q_grouped.shape[-2], v_hat.shape[-1], leading=q_grouped.shape[:-2]
@@ -98,25 +128,39 @@ def run_numeric(
         t1 = min(t0 + config.tile_n, seq_len)
         k_tile = k_hat[..., t0:t1, :]
         s = (q_grouped @ np.swapaxes(k_tile, -1, -2)) * scale
-        v_tile = v_hat[..., t0:t1, :]
-        # Real kernels pad the tail tile to the warp split: -inf scores
-        # contribute nothing to the softmax, zero rows nothing to PV.
-        remainder = s.shape[-1] % wn
-        if remainder:
-            pad = wn - remainder
-            s = np.concatenate([s, np.full((*s.shape[:-1], pad), -np.inf, dtype=s.dtype)], axis=-1)
-            v_tile = np.concatenate(
-                [
-                    v_tile,
-                    np.zeros((*v_tile.shape[:-2], pad, v_tile.shape[-1]), dtype=v_tile.dtype),
-                ],
-                axis=-2,
-            )
+        s, v_tile = pad_tail(s, v_hat[..., t0:t1, :], wn)
         if config.version == "fp4":
             state_update_fp4(state, s, v_tile, config)
         else:
             tile_softmax_split(state, s, v_tile, wn, cooperative=config.use_coop_softmax)
     return state
+
+
+def _run_fused(
+    q_grouped: np.ndarray,
+    k_hat: np.ndarray,
+    v_hat: np.ndarray,
+    config: BitDecodingConfig,
+    scale: float,
+) -> OnlineSoftmaxState:
+    """Fused tile walk: one QK^T GEMM + two-pass softmax over all tiles.
+
+    On the FP4 path ``P`` is still re-quantized before the PV product, but
+    against the row's global maximum instead of the per-tile running
+    maximum; quantization blocks are padded (``-inf`` scores, zero value
+    rows) to the micro-scaling block size, matching how the tiled walk
+    pads its tail tile.
+    """
+    s = (q_grouped @ np.swapaxes(k_hat, -1, -2)) * scale
+    if config.version != "fp4":
+        return OnlineSoftmaxState.from_scores(s, v_hat)
+
+    block = 32 if config.fp4_format == "mxfp4" else 16
+    s, v_hat = pad_tail(s, v_hat, block)
+    m = s.max(axis=-1)
+    p = np.exp(s - np.where(np.isfinite(m), m, 0.0)[..., None])
+    p_q, _ = quantize_fp4(p, config.fp4_format, axis=-1)
+    return OnlineSoftmaxState(m=m, l=p_q.sum(axis=-1), acc=p_q @ np.asarray(v_hat, np.float32))
 
 
 def state_update_fp4(

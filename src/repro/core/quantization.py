@@ -22,7 +22,7 @@ element, FP8-E4M3 scale per 16-element block).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -104,27 +104,37 @@ def _grouped_view(x: np.ndarray, axis: int, group_size: int) -> Tuple[np.ndarray
     return x.reshape(shape), axis
 
 
-def quantize(
-    x: np.ndarray, bits: int, axis: int, group_size: int
-) -> Tuple[np.ndarray, QuantParams]:
-    """Asymmetric uniform quantization along ``axis`` in groups.
+def _quantize_chunk(
+    x: np.ndarray,
+    bits: int,
+    axis: int,
+    group_size: int,
+    codes_out: Optional[np.ndarray] = None,
+    affine: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Shared quantization core: codes plus *raw-layout* group metadata.
 
-    Returns unsigned codes (same shape as ``x``) and :class:`QuantParams`.
-    The affine map is ``code = round((x - zero) / scale)`` clamped to
-    ``[0, 2**bits - 1]``; ``scale``/``zero`` are rounded to FP16 *before*
-    quantization, exactly as a kernel storing ``half2`` metadata would.
-
-    ``x`` may have any rank: the group statistics reduce over ``axis`` in
-    one batched pass, so a whole ``[batch, hkv, n_blocks, N_r, d]`` cache
-    quantizes in a single call.
+    Returns ``(codes, scale, zero, group_axis)`` where ``scale``/``zero``
+    keep the group axis in its natural (reduction) position — callers that
+    publish :class:`QuantParams` apply the moveaxis themselves.  ``x`` may
+    be FP16 or FP32: the group min/max are exact under the monotone
+    FP16→FP32 cast and the affine ufuncs upcast on the fly, so skipping
+    the whole-tensor FP32 copy changes no bit of the output.  This is the
+    unit the chunked prefill flush loops over (quantization groups never
+    cross a residual block, so per-chunk statistics are self-contained);
+    ``codes_out``/``affine`` let that loop reuse its buffers.  ``affine``
+    may alias ``x`` (the affine map is element-wise, so in-place is exact);
+    ``x`` is then destroyed.
     """
     if bits not in (1, 2, 4, 8):
         raise ValueError(f"unsupported bit width {bits}")
-    x = np.asarray(x, dtype=np.float32)
+    x = np.asarray(x)
+    if x.dtype not in (np.float16, np.float32):
+        x = x.astype(np.float32)
     axis = axis % x.ndim
     grouped, ax = _grouped_view(x, axis, group_size)
-    gmin = grouped.min(axis=ax + 1)
-    gmax = grouped.max(axis=ax + 1)
+    gmin = grouped.min(axis=ax + 1).astype(np.float32)
+    gmax = grouped.max(axis=ax + 1).astype(np.float32)
     # NaN/Inf propagate into the group min/max, so checking the (small)
     # reductions detects every poisoned value without another full pass.
     if x.size and not (np.all(np.isfinite(gmin)) and np.all(np.isfinite(gmax))):
@@ -146,12 +156,38 @@ def quantize(
     expand_zero = np.expand_dims(zero, ax + 1)
     # The affine map runs through one preallocated buffer (no per-op
     # temporaries); this path is memory-bound at cache scale.
-    affine = np.empty(grouped.shape, dtype=np.float32)
-    np.subtract(grouped, expand_zero, out=affine)
-    np.divide(affine, expand, out=affine)
-    np.rint(affine, out=affine)
-    np.clip(affine, 0, levels, out=affine)
-    codes = affine.astype(np.uint8).reshape(x.shape)
+    if affine is None or affine.shape != x.shape:
+        affine = np.empty(x.shape, dtype=np.float32)
+    affine_grouped = affine.reshape(grouped.shape)
+    np.subtract(grouped, expand_zero, out=affine_grouped)
+    np.divide(affine_grouped, expand, out=affine_grouped)
+    np.rint(affine_grouped, out=affine_grouped)
+    np.clip(affine_grouped, 0, levels, out=affine_grouped)
+    if codes_out is None:
+        codes = affine.astype(np.uint8)
+    else:
+        codes = codes_out
+        codes[...] = affine  # integral after rint; the uint8 cast is exact
+    return codes, scale, zero, ax
+
+
+def quantize(
+    x: np.ndarray, bits: int, axis: int, group_size: int
+) -> Tuple[np.ndarray, QuantParams]:
+    """Asymmetric uniform quantization along ``axis`` in groups.
+
+    Returns unsigned codes (same shape as ``x``) and :class:`QuantParams`.
+    The affine map is ``code = round((x - zero) / scale)`` clamped to
+    ``[0, 2**bits - 1]``; ``scale``/``zero`` are rounded to FP16 *before*
+    quantization, exactly as a kernel storing ``half2`` metadata would.
+
+    ``x`` may have any rank: the group statistics reduce over ``axis`` in
+    one batched pass, so a whole ``[batch, hkv, n_blocks, N_r, d]`` cache
+    quantizes in a single call.
+    """
+    x = np.asarray(x)
+    axis = axis % max(x.ndim, 1)
+    codes, scale, zero, ax = _quantize_chunk(x, bits, axis, group_size)
     # Public metadata layout keeps the group axis last (the ``half2``
     # stream the kernels read); the heavy per-value math above never
     # transposes, only this small array does.

@@ -36,19 +36,19 @@ from repro.core.layouts import (
     block_fragment_unpack,
     tiled_layout,
 )
-from repro.core.packing import pack_values, unpack_values
+from repro.core.packing import _word_dtype, gather_pack_into, unpack_values
 from repro.core.quantization import (
     Fp4Params,
     QuantParams,
     QuantScheme,
+    _quantize_chunk,
     dequantize,
-    quantize,
     quantize_fp4,
     quantize_key,
     quantize_value,
 )
 from repro.core.query_transform import gemm_m_dimension
-from repro.core.softmax import OnlineSoftmaxState, tile_softmax_split
+from repro.core.softmax import OnlineSoftmaxState, pad_tail, tile_softmax_split
 from repro.gpu.arch import ArchSpec
 from repro.gpu.instructions import quant_pack_ops, rescale_accum_ops, softmax_ops
 from repro.gpu.kernel import KernelLaunch
@@ -406,24 +406,39 @@ class Fp4BlockBatch:
         return self.k_scales.nbytes + self.v_scales.nbytes
 
 
+#: Per-chunk working-set budget of the chunked flush, in K-or-V values.
+#: A chunk touches ~9 bytes per value across its buffers (fp16 source,
+#: fp32 affine, uint8 codes, word output + scratch); 512k values keeps
+#: that a few MiB — inside the last-level cache on anything current — so
+#: the quantize/gather/pack passes stream from cache instead of DRAM.
+_FLUSH_CHUNK_VALUES = 512 * 1024
+
+
 def flush_blocks(
     k_blocks: np.ndarray, v_blocks: np.ndarray, config: BitDecodingConfig
 ) -> Union[PackedBlockBatch, Fp4BlockBatch]:
-    """Quantize + pack a batch of residual blocks in single numpy ops.
+    """Quantize + pack a batch of residual blocks, cache-blocked.
 
-    ``k_blocks`` / ``v_blocks`` are ``[batch, hkv, n_blocks, N_r, d]``.  The
-    group statistics, affine quantization, fragment gather and word packing
-    each run once over the whole tensor — the vectorized equivalent of
-    calling :func:`flush_block` per (batch, head, block), bit-exact because
-    no quantization group ever crosses a block boundary.
+    ``k_blocks`` / ``v_blocks`` are ``[batch, hkv, n_blocks, N_r, d]``.
+    Because no quantization group and no fragment permutation ever crosses
+    a residual-block boundary, the flush is embarrassingly chunkable: the
+    blocks are walked in runs sized to :data:`_FLUSH_CHUNK_VALUES` and
+    each run does group statistics, affine quantization and the fused
+    fragment-gather + word-pack (:func:`repro.core.packing.gather_pack_into`)
+    while its working set is still cache-resident, with every intermediate
+    buffer reused across chunks.  Bit-exact equivalent of calling
+    :func:`flush_block` per (batch, head, block) — the hypothesis sweep in
+    ``tests/core/test_vectorized_cache.py`` enforces exactly that.
     """
-    k_blocks = np.asarray(k_blocks, dtype=np.float32)
-    v_blocks = np.asarray(v_blocks, dtype=np.float32)
+    k_blocks = np.asarray(k_blocks)
+    v_blocks = np.asarray(v_blocks)
     if k_blocks.ndim != 5 or k_blocks.shape != v_blocks.shape:
         raise ValueError("K and V blocks must share a [batch, hkv, n_blocks, N_r, d] shape")
     batch, hkv, nb, n, d = k_blocks.shape
 
     if config.version == "fp4":
+        k_blocks = k_blocks.astype(np.float32, copy=False)
+        v_blocks = v_blocks.astype(np.float32, copy=False)
         k_vals, k_scales = quantize_fp4(k_blocks, config.fp4_format, axis=-1)
         v_vals, v_scales = quantize_fp4(v_blocks, config.fp4_format, axis=-1)
         return Fp4BlockBatch(
@@ -439,33 +454,105 @@ def flush_blocks(
     # Group sizes clamp to the block's actual extents, as in flush_block.
     key_axis_len = n if config.granularity == "channel" else d
     key_group = min(config.key_group_size, key_axis_len)
-    key_axis = -2 if config.granularity == "channel" else -1
-    k_codes, k_params = quantize(k_blocks, config.bits, key_axis, key_group)
-    v_codes, v_params = quantize(v_blocks, config.bits, -1, min(config.value_group_size, d))
-
+    channel = config.granularity == "channel"
+    value_group = min(config.value_group_size, d)
     layout = _kv_fragment_layout(config)
     interleaved = config.dequant_method == "lop3"
-    # Fragment gathers via flattened ``np.take`` offsets; the K offsets
-    # address the (d, N_r) packing orientation on the contiguous (N_r, d)
-    # codes (transposed=True), so no transpose is ever materialized.
-    k_frag_shape = _block_fragment_indices(layout, d, n)[0].shape
+    ratio = config.packing_ratio
+    n_words = (n * d) // ratio
+    word_dtype = _word_dtype(config.word_bits)
+
+    # Everything below works on a flat list of blocks: [batch * hkv * nb,
+    # N_r, d] contiguous views in, [rows, n_words] word tensors out, all
+    # reshaped back to the batched 5-D layouts at the end (pure views).
+    rows = batch * hkv * nb
+    k_flat = np.ascontiguousarray(k_blocks).reshape(rows, n, d)
+    v_flat = np.ascontiguousarray(v_blocks).reshape(rows, n, d)
     flat_k, _ = block_fragment_offsets(layout, d, n, transposed=True)
-    k_frag = np.take(k_codes.reshape(batch, hkv, nb, n * d), flat_k, axis=-1)
-    k_frag = k_frag.reshape(batch, hkv, nb, *k_frag_shape)
-    v_frag_shape = _block_fragment_indices(layout, n, d)[0].shape
     flat_v, _ = block_fragment_offsets(layout, n, d)
-    v_frag = np.take(v_codes.reshape(batch, hkv, nb, n * d), flat_v, axis=-1)
-    v_frag = v_frag.reshape(batch, hkv, nb, *v_frag_shape)
+    k_words = np.empty((rows, n_words), word_dtype)
+    v_words = np.empty((rows, n_words), word_dtype)
+    # Raw-layout metadata (group axis in reduction position), filled per
+    # chunk, transposed to the public half2 layout once at the end.
+    k_scale = np.empty(
+        (rows, n // key_group, d) if channel else (rows, n, d // key_group), np.float32
+    )
+    k_zero = np.empty_like(k_scale)
+    v_scale = np.empty((rows, n, d // value_group), np.float32)
+    v_zero = np.empty_like(v_scale)
+
+    chunk_rows = max(1, _FLUSH_CHUNK_VALUES // (n * d))
+    staged = codes = None
+    scratch = None
+    for r0 in range(0, rows, chunk_rows):
+        r1 = min(r0 + chunk_rows, rows)
+        if codes is None or codes.shape[0] != r1 - r0:
+            shape = (r1 - r0, n, d)
+            # FP32 staging: numpy's half-precision reductions run an order
+            # of magnitude slower than float32 ones, so each chunk is cast
+            # once while hot instead of reducing fp16 directly.  The staged
+            # chunk doubles as the affine workspace (it is dead once the
+            # group statistics are reduced), keeping the working set to
+            # three chunk-sized buffers.
+            staged = np.empty(shape, np.float32)
+            codes = np.empty(shape, np.uint8)
+            scratch = (
+                np.empty((r1 - r0, n_words), np.uint8),
+                np.empty((r1 - r0, n_words), word_dtype),
+            )
+        staged[...] = k_flat[r0:r1]
+        _, ks, kz, _ = _quantize_chunk(
+            staged, config.bits, 1 if channel else 2, key_group, codes, staged
+        )
+        k_scale[r0:r1], k_zero[r0:r1] = ks, kz
+        gather_pack_into(
+            codes.reshape(r1 - r0, n * d),
+            flat_k,
+            config.bits,
+            k_words[r0:r1],
+            config.word_bits,
+            interleaved,
+            scratch,
+        )
+        staged[...] = v_flat[r0:r1]
+        _, vs, vz, _ = _quantize_chunk(staged, config.bits, 2, value_group, codes, staged)
+        v_scale[r0:r1], v_zero[r0:r1] = vs, vz
+        gather_pack_into(
+            codes.reshape(r1 - r0, n * d),
+            flat_v,
+            config.bits,
+            v_words[r0:r1],
+            config.word_bits,
+            interleaved,
+            scratch,
+        )
+
+    k_frag_shape = _block_fragment_indices(layout, d, n)[0].shape
+    v_frag_shape = _block_fragment_indices(layout, n, d)[0].shape
+    lead = (batch, hkv, nb)
+
+    def params(scale: np.ndarray, zero: np.ndarray, axis: int, group: int) -> QuantParams:
+        # The 5-D group axis (3 for channel-wise K, 4 otherwise) moves to
+        # last, matching what quantize() publishes for the batched tensor.
+        full = scale.reshape(*lead, *scale.shape[1:])
+        return QuantParams(
+            scale=np.ascontiguousarray(np.moveaxis(full, axis, -1)),
+            zero=np.ascontiguousarray(np.moveaxis(zero.reshape(full.shape), axis, -1)),
+            axis=axis,
+            group_size=group,
+            bits=config.bits,
+        )
+
     return PackedBlockBatch(
         length=n,
         head_dim=d,
         bits=config.bits,
         word_bits=config.word_bits,
         layout_name=layout.name,
-        k_words=pack_values(k_frag, config.bits, config.word_bits, interleaved=interleaved),
-        v_words=pack_values(v_frag, config.bits, config.word_bits, interleaved=interleaved),
-        k_params=k_params,
-        v_params=v_params,
+        k_words=k_words.reshape(*lead, *k_frag_shape[:-1], k_frag_shape[-1] // ratio),
+        v_words=v_words.reshape(*lead, *v_frag_shape[:-1], v_frag_shape[-1] // ratio),
+        k_params=params(k_scale, k_zero, 3 if channel else 4, key_group),
+        v_params=params(v_scale, v_zero, 4, value_group),
     )
 
 
@@ -496,18 +583,10 @@ def attend_residual(
     if k_res.shape[-2] == 0:
         return state
     s = (q_grouped @ np.swapaxes(k_res, -1, -2)) * scale
-    v_tile = v_res
     # Pad the partial residual to the warp split (-inf scores / zero rows),
     # exactly as the kernel pads its warp tiles.
     wn = config.effective_wn
-    remainder = s.shape[-1] % wn
-    if remainder:
-        pad = wn - remainder
-        s = np.concatenate([s, np.full((*s.shape[:-1], pad), -np.inf, dtype=s.dtype)], axis=-1)
-        v_tile = np.concatenate(
-            [v_tile, np.zeros((*v_tile.shape[:-2], pad, v_tile.shape[-1]), dtype=v_tile.dtype)],
-            axis=-2,
-        )
+    s, v_tile = pad_tail(s, v_res, wn)
     tile_softmax_split(state, s, v_tile, wn, cooperative=config.use_coop_softmax)
     return state
 

@@ -63,6 +63,24 @@ class OnlineSoftmaxState:
             acc=np.zeros((*leading, n_rows, head_dim), dtype=np.float32),
         )
 
+    @classmethod
+    def from_scores(cls, scores: np.ndarray, values: np.ndarray) -> "OnlineSoftmaxState":
+        """Two-pass (fused) softmax over a *complete* score matrix.
+
+        ``scores`` is ``(..., M, L)`` for the whole KV range and ``values``
+        ``(..., L, d)``: the row maximum is taken once over all of L, so no
+        online rescaling ever happens.  The resulting ``m`` is identical to
+        what a tile walk would converge to; ``l`` and ``acc`` differ from
+        the tiled update only by floating-point summation order.  The state
+        merges with other partial states (residual tail, split-KV) exactly
+        like a tiled one.
+        """
+        scores = np.asarray(scores, dtype=np.float32)
+        values = np.asarray(values, dtype=np.float32)
+        m = scores.max(axis=-1)
+        p = np.exp(scores - np.where(np.isfinite(m), m, 0.0)[..., None])
+        return cls(m=m, l=p.sum(axis=-1), acc=p @ values)
+
     def update(self, scores: np.ndarray, values: np.ndarray) -> None:
         """Fold one tile: ``scores`` is ``(..., M, Tn)``, ``values`` ``(..., Tn, d)``."""
         scores = np.asarray(scores, dtype=np.float32)
@@ -90,6 +108,31 @@ class OnlineSoftmaxState:
         if np.any(self.l <= 0):
             raise ValueError("finalize called with empty softmax state")
         return self.acc / self.l[..., None]
+
+
+def pad_tail(
+    scores: np.ndarray, values: np.ndarray, multiple: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pad a score tile's last columns (``-inf``) and value rows (zeros).
+
+    Real kernels pad tail tiles to their alignment unit — the warp split
+    in the tiled walk, the micro-scaling block on the fused FP4 path.
+    ``-inf`` scores contribute nothing to the softmax and zero rows
+    nothing to PV, so padding never changes the result.  Returns the
+    inputs unchanged when already aligned.
+    """
+    remainder = scores.shape[-1] % multiple
+    if not remainder:
+        return scores, values
+    pad = multiple - remainder
+    scores = np.concatenate(
+        [scores, np.full((*scores.shape[:-1], pad), -np.inf, dtype=scores.dtype)], axis=-1
+    )
+    values = np.concatenate(
+        [values, np.zeros((*values.shape[:-2], pad, values.shape[-1]), dtype=values.dtype)],
+        axis=-2,
+    )
+    return scores, values
 
 
 def tile_softmax_split(

@@ -12,12 +12,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.attention import BitDecoding, BitKVCache
-from repro.core.softmax import reference_attention
 
 
 def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
@@ -27,13 +26,35 @@ def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray
     return x * scale * weight
 
 
-def rope_angles(head_dim: int, positions: np.ndarray, base: float = 10000.0) -> Tuple[np.ndarray, np.ndarray]:
+def rope_angles(
+    head_dim: int, positions: np.ndarray, base: float = 10000.0
+) -> Tuple[np.ndarray, np.ndarray]:
     """(cos, sin) tables for rotary position embedding."""
     if head_dim % 2 != 0:
         raise ValueError("head_dim must be even for RoPE")
     inv_freq = base ** (-np.arange(0, head_dim, 2, dtype=np.float32) / head_dim)
     angles = np.outer(np.asarray(positions, dtype=np.float32), inv_freq)
     return np.cos(angles), np.sin(angles)
+
+
+#: Max memoized RoPE tables per model; a decode step plus its prefill
+#: context needs two, the rest is slack for interleaved usage patterns.
+_ROPE_CACHE_ENTRIES = 8
+
+
+def causal_mask(seq: int) -> np.ndarray:
+    """``(seq, seq)`` additive mask: ``-inf`` strictly above the diagonal.
+
+    Built once per attention call and shared by every head — a 32k-token
+    prefill allocates one O(seq^2) mask, not O(heads * seq^2) of them.
+    The fill goes through a boolean upper-triangle (one byte per element
+    of scratch); ``np.triu_indices`` would transiently cost ~2x the mask
+    itself in int64 index arrays at that scale.
+    """
+    mask = np.zeros((seq, seq), dtype=np.float32)
+    rows = np.arange(seq)
+    mask[rows[:, None] < rows[None, :]] = -np.inf
+    return mask
 
 
 def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
@@ -91,6 +112,9 @@ class TinyTransformer:
     _ref_k: List[np.ndarray] = field(init=False, default_factory=list)
     _ref_v: List[np.ndarray] = field(init=False, default_factory=list)
     _positions: int = field(init=False, default=0)
+    _rope_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = field(
+        init=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self.hq * self.head_dim != self.hidden:
@@ -119,12 +143,31 @@ class TinyTransformer:
 
     # ------------------------------------------------------------------ plumbing
 
+    def _rope(self, pos0: int, seq: int) -> Tuple[np.ndarray, np.ndarray]:
+        """RoPE (cos, sin) tables for positions ``pos0 .. pos0 + seq``.
+
+        Every layer at a given position uses identical tables, so they are
+        memoized on ``(pos0, seq)`` — one trig evaluation per decode step
+        (or prefill) instead of one per layer.  Decode positions strictly
+        increase, so old per-step entries are never hit again; the cache
+        evicts oldest-first past a small bound instead of growing by one
+        dead entry per generated token.
+        """
+        key = (pos0, seq)
+        tables = self._rope_cache.get(key)
+        if tables is None:
+            tables = rope_angles(self.head_dim, np.arange(pos0, pos0 + seq))
+            while len(self._rope_cache) >= _ROPE_CACHE_ENTRIES:
+                self._rope_cache.pop(next(iter(self._rope_cache)))
+            self._rope_cache[key] = tables
+        return tables
+
     def _project_kv(self, layer: LayerWeights, x: np.ndarray, pos0: int):
         """(k, v) heads for tokens ``x`` of shape (batch, seq, hidden)."""
         batch, seq, _ = x.shape
         k = (x @ layer.wk).reshape(batch, seq, self.hkv, self.head_dim)
         v = (x @ layer.wv).reshape(batch, seq, self.hkv, self.head_dim)
-        cos, sin = rope_angles(self.head_dim, np.arange(pos0, pos0 + seq))
+        cos, sin = self._rope(pos0, seq)
         k = apply_rope(k.transpose(0, 2, 1, 3), cos, sin)  # (b, hkv, seq, d)
         v = v.transpose(0, 2, 1, 3)
         return k, v
@@ -153,24 +196,27 @@ class TinyTransformer:
         return h
 
     def _attend_prefill(self, layer, normed, k, v) -> np.ndarray:
-        """Causal FP16 prefill attention (prefill is not the paper's focus)."""
+        """Causal FP16 prefill attention (prefill is not the paper's focus).
+
+        Vectorized over every (batch, query-head) pair: queries reshape to
+        the grouped-query ``(b, hkv, gq, seq, d)`` layout so one einsum
+        against ``(b, hkv, seq, d)`` K covers MHA, GQA and MQA alike, and
+        the causal mask is built once per call, not once per head.
+        """
         batch, seq, _ = normed.shape
         q = (normed @ layer.wq).reshape(batch, seq, self.hq, self.head_dim)
-        cos, sin = rope_angles(self.head_dim, np.arange(seq))
+        cos, sin = self._rope(0, seq)
         q = apply_rope(q.transpose(0, 2, 1, 3), cos, sin)  # (b, hq, seq, d)
         gq = self.hq // self.hkv
-        out = np.empty_like(q)
+        qg = q.reshape(batch, self.hkv, gq, seq, self.head_dim)
         scale = 1.0 / math.sqrt(self.head_dim)
-        for b in range(batch):
-            for hh in range(self.hq):
-                kv_h = hh // gq
-                s = (q[b, hh] @ k[b, kv_h].T) * scale
-                causal = np.triu(np.full((seq, seq), -np.inf, dtype=np.float32), k=1)
-                s = s + causal
-                s = s - s.max(axis=-1, keepdims=True)
-                p = np.exp(s)
-                p /= p.sum(axis=-1, keepdims=True)
-                out[b, hh] = p @ v[b, kv_h]
+        s = np.einsum("bhgqd,bhkd->bhgqk", qg, k, optimize=True) * scale
+        s += causal_mask(seq)
+        s -= s.max(axis=-1, keepdims=True)
+        p = np.exp(s)
+        p /= p.sum(axis=-1, keepdims=True)
+        out = np.einsum("bhgqk,bhkd->bhgqd", p, v, optimize=True)
+        out = out.reshape(batch, self.hq, seq, self.head_dim)
         out = out.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden)
         return out @ layer.wo
 
@@ -184,7 +230,7 @@ class TinyTransformer:
             normed = rms_norm(h, layer.norm_attn)
             k_new, v_new = self._project_kv(layer, normed, pos)
             q = (normed @ layer.wq).reshape(batch, 1, self.hq, self.head_dim)
-            cos, sin = rope_angles(self.head_dim, np.asarray([pos]))
+            cos, sin = self._rope(pos, 1)
             q = apply_rope(q.transpose(0, 2, 1, 3), cos, sin).transpose(0, 2, 1, 3)
 
             if self.engine is not None:
@@ -202,11 +248,22 @@ class TinyTransformer:
         return h[:, 0, :]
 
     def _exact_decode(self, q, k, v) -> np.ndarray:
+        """Exact FP32 decode attention, one grouped-query einsum per batch.
+
+        Same softmax as :func:`repro.core.softmax.reference_attention`,
+        vectorized over every (batch, query-head) pair at once.
+        """
         batch = q.shape[0]
         gq = self.hq // self.hkv
-        out = np.empty((batch, 1, self.hq, self.head_dim), dtype=np.float32)
-        for b in range(batch):
-            for hh in range(self.hq):
-                kv_h = hh // gq
-                out[b, 0, hh] = reference_attention(q[b, 0, hh : hh + 1], k[b, kv_h], v[b, kv_h])
-        return out
+        qg = np.asarray(q[:, 0], dtype=np.float32).reshape(batch, self.hkv, gq, self.head_dim)
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        # math.sqrt, not np.sqrt: a float64 scalar would promote the whole
+        # path (and the caller's hidden state) to float64 under NEP 50.
+        scale = np.float32(1.0 / math.sqrt(self.head_dim))
+        s = np.einsum("bhgd,bhkd->bhgk", qg, k, optimize=True) * scale
+        s -= s.max(axis=-1, keepdims=True)
+        p = np.exp(s)
+        p /= p.sum(axis=-1, keepdims=True)
+        out = np.einsum("bhgk,bhkd->bhgd", p, v, optimize=True)
+        return out.reshape(batch, 1, self.hq, self.head_dim)

@@ -7,12 +7,56 @@ from hypothesis import strategies as st
 
 from repro.core.packing import (
     INTERLEAVE_75316420,
+    _word_dtype,
     fast_parity_extract,
+    gather_pack_into,
     pack_values,
     packed_nbytes,
     packing_ratio,
     unpack_values,
 )
+
+
+class TestGatherPackInto:
+    """The fused gather+pack must be bit-equal to take() then pack_values."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bits=st.sampled_from([1, 2, 4, 8]),
+        word_bits=st.sampled_from([16, 32]),
+        interleaved=st.booleans(),
+        rows=st.integers(1, 4),
+        n_words=st.integers(1, 32),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_bit_equal_to_unfused(self, bits, word_bits, interleaved, rows, n_words, seed):
+        ratio = packing_ratio(bits, word_bits)
+        rng = np.random.default_rng(seed)
+        n_values = n_words * ratio
+        codes = rng.integers(0, 1 << bits, size=(rows, 2 * n_values), dtype=np.uint8)
+        index = rng.permutation(2 * n_values)[:n_values]
+        expected = pack_values(
+            np.take(codes, index, axis=-1), bits, word_bits, interleaved=interleaved
+        )
+        out = np.empty((rows, n_words), _word_dtype(word_bits))
+        gather_pack_into(codes, index, bits, out, word_bits, interleaved)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_scratch_buffers_reused(self, rng):
+        codes = rng.integers(0, 16, size=(2, 32), dtype=np.uint8)
+        index = np.arange(32)
+        out = np.empty((2, 8), np.uint16)
+        scratch = (np.empty((2, 8), np.uint8), np.empty((2, 8), np.uint16))
+        gather_pack_into(codes, index, 4, out, 16, True, scratch)
+        expected = pack_values(np.take(codes, index, axis=-1), 4, 16, interleaved=True)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_shape_mismatch_rejected(self, rng):
+        codes = rng.integers(0, 16, size=(2, 32), dtype=np.uint8)
+        with pytest.raises(ValueError, match="word tensor"):
+            gather_pack_into(codes, np.arange(32), 4, np.empty((2, 4), np.uint16))
+        with pytest.raises(ValueError, match="multiple"):
+            gather_pack_into(codes, np.arange(31), 4, np.empty((2, 8), np.uint16))
 
 
 class TestPackingRatio:

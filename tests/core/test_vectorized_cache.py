@@ -1,4 +1,4 @@
-"""Bit-exactness of the vectorized SoA cache vs. the seed per-block cache.
+"""Bit-exactness of the vectorized SoA cache, and the dual-mode contract.
 
 The batched struct-of-arrays refactor is only a *layout* change: every
 quantization group, fragment permutation, packed word, half2 metadata
@@ -7,6 +7,16 @@ per-(batch, head, block) implementation produced.  The hypothesis sweep
 drives random shapes through both implementations and asserts exact array
 equality — not closeness — on the dequantized K/V, the residual views,
 the byte accounting and the decode output.
+
+Since the decode tile walk gained a ``fused`` numerics mode (one batched
+QK^T + two-pass softmax, which changes BLAS summation order), the decode
+contract is dual-mode:
+
+- ``exact_tiled`` remains *bit-identical* to the seed per-block reference
+  (the exactness sweep below pins that mode);
+- ``fused`` must agree with ``exact_tiled`` within the documented
+  tolerance (:data:`repro.core.packing_kernel.FUSED_NUMERICS_TOLERANCE`),
+  across bits {1, 2, 4, 8}, both granularities and both FP4 formats.
 """
 
 import numpy as np
@@ -16,6 +26,7 @@ from hypothesis import strategies as st
 
 from repro.core.attention import BitDecoding, BitKVCache
 from repro.core.config import BitDecodingConfig
+from repro.core.packing_kernel import FUSED_NUMERICS_TOLERANCE
 
 from tests.reference_cache import ReferenceBitKVCache, reference_decode
 
@@ -26,13 +37,18 @@ def _arch_for(config):
     return "rtx5090" if config.version == "fp4" else "a100"
 
 
+# The exactness sweep pins exact_tiled: that is the mode whose decode is
+# bit-identical to the seed tile walk.  Storage (quantize/pack/flush) is
+# mode-independent, so one sweep covers it for both modes.
 int_configs = st.builds(
-    lambda bits, granularity: BitDecodingConfig(bits=bits, granularity=granularity),
+    lambda bits, granularity: BitDecodingConfig(
+        bits=bits, granularity=granularity, numerics_mode="exact_tiled"
+    ),
     st.sampled_from([1, 2, 4, 8]),
     st.sampled_from(["channel", "tensor"]),
 )
 fp4_configs = st.builds(
-    lambda fmt: BitDecodingConfig(version="fp4", fp4_format=fmt),
+    lambda fmt: BitDecodingConfig(version="fp4", fp4_format=fmt, numerics_mode="exact_tiled"),
     st.sampled_from(["mxfp4", "nvfp4"]),
 )
 configs = st.one_of(int_configs, fp4_configs)
@@ -107,7 +123,7 @@ def test_vectorized_cache_bit_exact_vs_reference(config, batch, hkv, gq, seq_fra
     seed=st.integers(0, 2**31 - 1),
 )
 def test_split_decode_bit_exact_vs_reference(bits, n_splits, seed):
-    config = BitDecodingConfig(bits=bits)
+    config = BitDecodingConfig(bits=bits, numerics_mode="exact_tiled")
     seq = config.residual_block_size * 3 + 11
     rng, k, v = _random_kv(seed, 2, 2, seq, _D)
     cache = BitKVCache.from_prefill(k, v, config)
@@ -117,6 +133,53 @@ def test_split_decode_bit_exact_vs_reference(bits, n_splits, seed):
     out = engine.decode(q, cache, n_splits=n_splits)
     out_ref = reference_decode(config, q, ref, n_splits=n_splits)
     assert np.array_equal(out, out_ref)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    config=configs,
+    batch=st.integers(1, 2),
+    hkv=st.integers(1, 2),
+    gq=st.integers(1, 2),
+    n_blocks=st.floats(1.0, 3.5),
+    q_scale=st.floats(0.5, 4.0),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_fused_mode_within_documented_tolerance(
+    config, batch, hkv, gq, n_blocks, q_scale, seed
+):
+    """Dual-mode contract, fused half: for every bit width, granularity and
+    FP4 format, ``fused`` decode agrees with ``exact_tiled`` within
+    :data:`FUSED_NUMERICS_TOLERANCE` (relative to the tiled output)."""
+    seq = int(config.residual_block_size * n_blocks)  # >= 1 packed block
+    rng, k, v = _random_kv(seed, batch, hkv, seq, _D)
+    q = (rng.standard_normal((batch, 1, hkv * gq, _D)) * q_scale).astype(np.float16)
+
+    tiled_config = config.with_overrides(numerics_mode="exact_tiled")
+    fused_config = config.with_overrides(numerics_mode="fused")
+    out_tiled = BitDecoding(tiled_config, _arch_for(config)).decode(
+        q, BitKVCache.from_prefill(k, v, tiled_config)
+    )
+    out_fused = BitDecoding(fused_config, _arch_for(config)).decode(
+        q, BitKVCache.from_prefill(k, v, fused_config)
+    )
+    tol = FUSED_NUMERICS_TOLERANCE["fp4" if config.version == "fp4" else "int"]
+    err = np.max(np.abs(out_fused - out_tiled)) / max(1.0, np.max(np.abs(out_tiled)))
+    assert err <= tol
+
+
+def test_exact_tiled_decode_bit_identical_to_reference(rng):
+    """Dual-mode contract, exact half (the hypothesis sweep above covers
+    the full config grid; this pins one deterministic case as a fast,
+    non-property regression check)."""
+    config = BitDecodingConfig(bits=4, numerics_mode="exact_tiled")
+    k = rng.standard_normal((2, 2, 300, _D)).astype(np.float16)
+    v = rng.standard_normal((2, 2, 300, _D)).astype(np.float16)
+    q = rng.standard_normal((2, 1, 4, _D)).astype(np.float16)
+    cache = BitKVCache.from_prefill(k, v, config)
+    ref = ReferenceBitKVCache.from_prefill(k, v, config)
+    out = BitDecoding(config, "a100").decode(q, cache)
+    assert np.array_equal(out, reference_decode(config, q, ref))
 
 
 class TestDequantMemoization:

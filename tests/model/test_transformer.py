@@ -101,3 +101,59 @@ class TestEndToEnd:
     def test_dimension_validation(self):
         with pytest.raises(ValueError):
             TinyTransformer(n_layers=1, hq=4, hkv=2, head_dim=16, hidden=63, intermediate=64)
+
+
+class TestVectorizedAttention:
+    """The grouped-query einsum paths must match per-head loop semantics."""
+
+    @pytest.mark.parametrize("hq,hkv", [(4, 2), (4, 4), (4, 1)])
+    def test_prefill_attention_matches_per_head_loop(self, rng, hq, hkv):
+        dims = dict(n_layers=1, hq=hq, hkv=hkv, head_dim=16, hidden=64, intermediate=64)
+        model = TinyTransformer(**dims, engine=None, seed=1)
+        layer = model.layers[0]
+        normed = rng.standard_normal((2, 12, 64)).astype(np.float32)
+        k, v = model._project_kv(layer, normed, 0)
+        out = model._attend_prefill(layer, normed, k, v)
+
+        # Per-head loop reference (the pre-vectorization implementation).
+        seq = normed.shape[1]
+        q = (normed @ layer.wq).reshape(2, seq, hq, 16)
+        cos, sin = rope_angles(16, np.arange(seq))
+        q = apply_rope(q.transpose(0, 2, 1, 3), cos, sin)
+        gq = hq // hkv
+        per_head = np.empty_like(q)
+        for b in range(2):
+            for hh in range(hq):
+                s = (q[b, hh] @ k[b, hh // gq].T) / np.sqrt(np.float32(16))
+                s = s + np.triu(np.full((seq, seq), -np.inf, dtype=np.float32), k=1)
+                s = s - s.max(axis=-1, keepdims=True)
+                p = np.exp(s)
+                p /= p.sum(axis=-1, keepdims=True)
+                per_head[b, hh] = p @ v[b, hh // gq]
+        expected = per_head.transpose(0, 2, 1, 3).reshape(2, seq, 64) @ layer.wo
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-6)
+
+    def test_exact_decode_matches_reference_attention(self, rng):
+        from repro.core.softmax import reference_attention
+
+        dims = dict(n_layers=1, hq=4, hkv=2, head_dim=16, hidden=64, intermediate=64)
+        model = TinyTransformer(**dims, engine=None, seed=2)
+        q = rng.standard_normal((2, 1, 4, 16)).astype(np.float32)
+        k = rng.standard_normal((2, 2, 9, 16)).astype(np.float32)
+        v = rng.standard_normal((2, 2, 9, 16)).astype(np.float32)
+        out = model._exact_decode(q, k, v)
+        for b in range(2):
+            for hh in range(4):
+                ref = reference_attention(q[b, 0, hh : hh + 1], k[b, hh // 2], v[b, hh // 2])
+                np.testing.assert_allclose(out[b, 0, hh], ref[0], rtol=1e-5, atol=1e-6)
+
+    def test_rope_tables_cached_across_layers_and_calls(self, rng):
+        dims = dict(n_layers=3, hq=4, hkv=2, head_dim=16, hidden=64, intermediate=64)
+        model = TinyTransformer(**dims, engine=None, seed=0)
+        model.prefill(rng.standard_normal((1, 8, 64)).astype(np.float32))
+        # Prefill touches (0, 8) once, shared by all 3 layers.
+        assert set(model._rope_cache) == {(0, 8)}
+        first = model._rope(0, 8)
+        assert model._rope(0, 8) is first  # memo hit, no recompute
+        model.decode_step(rng.standard_normal((1, 64)).astype(np.float32))
+        assert (8, 1) in model._rope_cache

@@ -148,7 +148,13 @@ def reference_decode(
     cache: ReferenceBitKVCache,
     n_splits: Optional[int] = None,
 ) -> np.ndarray:
-    """The seed decode loop: per-(batch, kv-head) kernel calls + merge."""
+    """The seed decode loop: per-(batch, kv-head) kernel calls + merge.
+
+    The seed implementation predates ``numerics_mode`` and always walked
+    ``tile_n`` tiles through the online softmax, so this reference pins
+    ``exact_tiled`` regardless of what the caller's config selects.
+    """
+    config = config.with_overrides(numerics_mode="exact_tiled")
     q = np.asarray(q, dtype=np.float32)
     if q.ndim != 4:
         raise ValueError("q must be [batch, q_len, hq, d]")

@@ -82,8 +82,12 @@ class TestCompare:
         assert len(checker.compare(current, baseline, threshold=0.02)) == 1
 
 
-def _kernels_point(speedup=25.0, flatness=1.1):
-    return {"speedup_decode_step": speedup, "decode_step_flatness": flatness}
+def _kernels_point(speedup=30.0, flatness=1.1, prefill=4.0):
+    return {
+        "speedup_decode_step": speedup,
+        "speedup_prefill_pack": prefill,
+        "decode_step_flatness": flatness,
+    }
 
 
 class TestCompareKernels:
@@ -97,6 +101,14 @@ class TestCompareKernels:
         assert len(failures) == 1
         assert "6.0x" in failures[0]
 
+    def test_prefill_pack_below_floor_fails(self):
+        """The chunked-flush floor: prefill pack must stay >= 3x."""
+        checker = _load_checker()
+        failures = checker.compare_kernels(_kernels_point(prefill=1.2))
+        assert len(failures) == 1
+        assert "prefill pack" in failures[0]
+        assert "1.2x" in failures[0]
+
     def test_growing_step_time_fails(self):
         """The memoization contract: no-flush decode steps must stay flat."""
         checker = _load_checker()
@@ -106,13 +118,28 @@ class TestCompareKernels:
 
     def test_floors_are_tunable(self):
         checker = _load_checker()
-        point = _kernels_point(speedup=6.0, flatness=3.5)
-        assert checker.compare_kernels(point, min_speedup=5.0, max_flatness=4.0) == []
+        point = _kernels_point(speedup=6.0, flatness=3.5, prefill=1.5)
+        assert (
+            checker.compare_kernels(
+                point, min_speedup=5.0, min_prefill_speedup=1.0, max_flatness=4.0
+            )
+            == []
+        )
+
+    def test_floors_read_from_baseline(self):
+        """The committed baseline may ratchet its own floors; explicit
+        arguments still win over it."""
+        checker = _load_checker()
+        point = _kernels_point(speedup=30.0, prefill=4.0)
+        strict = dict(_kernels_point(), floors={"decode_step_speedup": 40.0})
+        failures = checker.compare_kernels(point, strict)
+        assert len(failures) == 1 and "40x" in failures[0]
+        assert checker.compare_kernels(point, strict, min_speedup=25.0) == []
 
     def test_missing_fields_fail_not_crash(self):
         checker = _load_checker()
         failures = checker.compare_kernels({})
-        assert len(failures) == 2
+        assert len(failures) == 3
 
     def test_committed_kernels_baseline_is_gated_shape(self):
         """The baseline's kernels entry must itself pass the default gate."""
