@@ -3,13 +3,15 @@
 The serving win of a low-bit KV cache is two-fold: the attention kernel
 moves fewer bytes AND more sequences fit in device memory, so the weight
 GEMMs amortize over a bigger batch.  This example reproduces that chain
-for the Fig. 13 models, printing the max feasible batch and throughput per
-cache format, plus a page-allocator view of one serving point.
+for the Fig. 13 models through the AttentionBackend API: each serving
+stack is a backend whose ``attention_system`` prices the decode kernel,
+printing the max feasible batch and throughput per cache format, plus a
+page-allocator view of one serving point.
 
 Run:  python examples/serving_throughput.py
 """
 
-from repro import BitDecoding, BitDecodingConfig, get_arch
+from repro import AnalyticalBackend, BitDecodingConfig, ContiguousBitBackend, get_arch
 from repro.baselines import FlashDecodingV2, QServe
 from repro.model import (
     LLAMA2_7B,
@@ -22,6 +24,7 @@ from repro.model import (
     page_pool_size,
 )
 from repro.pages import OutOfPagesError, PageAllocator, PageTable
+from repro.pages.paged_cache import PagedKVStore
 
 SEQ_LEN = 32768
 
@@ -33,20 +36,31 @@ def main() -> None:
     for model in (LLAMA2_7B, LLAMA31_8B, QWEN3_8B):
         fp16 = fp16_format()
         int4 = int_format(4, model)
+        # Every stack is an AttentionBackend; the analytical backend wraps
+        # the baseline cost models, the contiguous-bit backend carries the
+        # real BitDecoding kernel stack.
         rows = [
-            ("FP16 + FlashDecoding-v2", fp16, FlashDecodingV2(arch)),
-            ("INT4 + QServe", int4, QServe(arch, 4)),
-            ("INT4 + BitDecoding", int4, BitDecoding(BitDecodingConfig(bits=4), arch)),
+            ("FP16 + FlashDecoding-v2", fp16, AnalyticalBackend(FlashDecodingV2(arch))),
+            ("INT4 + QServe", int4, AnalyticalBackend(QServe(arch, 4))),
+            (
+                "INT4 + BitDecoding",
+                int4,
+                ContiguousBitBackend(BitDecodingConfig(bits=4), arch),
+            ),
         ]
         print(f"{model.name} ({model.attention_variant}):")
-        for label, fmt, attention in rows:
+        for label, fmt, backend in rows:
             batch = max_batch_size(model, arch, fmt, SEQ_LEN)
-            tput = max_throughput_tokens_per_s(model, arch, fmt, attention, SEQ_LEN)
+            tput = max_throughput_tokens_per_s(
+                model, arch, fmt, backend.attention_system, SEQ_LEN
+            )
             print(f"  {label:<26} max batch {batch:>3}   {tput:8.1f} tok/s")
         print()
 
     # A concrete paged-memory view: how many 32K sequences fit in the HBM
-    # left after weights, at page granularity.
+    # left after weights, at page granularity.  The per-format store dtype
+    # and byte accounting come from the CacheFormat — the INT4 store
+    # reports its true packed footprint, not fp16 working arrays.
     model = LLAMA31_8B
     page_tokens = 64
     for fmt in (fp16_format(), int_format(4, model)):
@@ -60,10 +74,14 @@ def main() -> None:
                 admitted += 1
         except OutOfPagesError:
             pass
+        per_head = PagedKVStore.for_format(
+            1024, page_tokens, model.head_dim, fmt, heads=model.hkv
+        )
         print(
             f"{fmt.name}: {allocator.n_pages} pages of {page_tokens} tokens -> "
             f"{admitted} concurrent 32K sequences "
-            f"(fragmentation {table.fragmentation():.1%})"
+            f"(fragmentation {table.fragmentation():.1%}; "
+            f"1024-page per-head store: {per_head.physical_nbytes / 1e6:.1f} MB physical)"
         )
 
 

@@ -28,10 +28,13 @@ LINT_TARGETS = ["src", "tests", "benchmarks", "examples", "scripts"]
 #: ratcheted in as they get reformatted; new subsystems start here.
 FORMAT_TARGETS = [
     "scripts",
+    "src/repro/attn",
+    "src/repro/baselines",
     "src/repro/core",
     "src/repro/model",
     "src/repro/pages",
     "src/repro/serving",
+    "tests/attn",
     "tests/pages",
     "tests/serving",
     "benchmarks/bench_kernel_hotpath.py",

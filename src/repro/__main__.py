@@ -7,6 +7,7 @@ Usage::
     python -m repro sweep [--arch a100]     # kernel speedup sweep
     python -m repro experiment fig10        # run one paper experiment
     python -m repro serve-sim [--steps 50]  # continuous-batching simulation
+    python -m repro serve-sim --model tiny --execute  # real token execution
 """
 
 from __future__ import annotations
@@ -99,6 +100,99 @@ def _cmd_experiment(name: str) -> None:
     lookup[name]().show()
 
 
+def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
+    """Real-token execution: schedule with the same clock, run the numerics.
+
+    Runs the trace twice over an identical INT4 stack — once purely
+    analytical, once with ``execute=True`` so every scheduler step pushes
+    real tokens through TinyTransformer + the paged low-bit cache sharing
+    the engine's page table — and checks the schedules agree token for
+    token.
+    """
+    import json
+
+    from repro.attn import PagedBitBackend
+    from repro.core.attention import BitDecoding
+    from repro.core.config import BitDecodingConfig
+    from repro.model.memory import int_format
+    from repro.serving import ContinuousBatchingEngine, EngineConfig
+
+    # wn=1 keeps N_r (= page size in execute mode) small enough for short
+    # CI-sized prompts to span several pages.
+    if args.page_size is not None or args.residual_window is not None:
+        print(
+            "serve-sim: --execute derives --page-size and --residual-window "
+            "from the kernel's residual block size N_r; drop those flags"
+        )
+        sys.exit(2)
+    # The runner allocates the model's weights for real; a serving-scale
+    # LLM would be tens of GB of float32 before the first step runs.
+    if model.param_count > 1e6:
+        print(
+            f"serve-sim: --execute runs real numerics and {model.name} has "
+            f"{model.param_count / 1e9:.1f}B parameters; use a toy model "
+            "(e.g. --model tiny)"
+        )
+        sys.exit(2)
+    kernel_config = BitDecodingConfig(bits=4, wn=1)
+    kernel = BitDecoding(kernel_config, arch)
+    nr = kernel_config.residual_block_size
+    fmt = int_format(4, model, residual_window=nr)
+    n_pages = 96 if args.pages is None else args.pages
+    common = dict(
+        model=model,
+        arch=arch,
+        fmt=fmt,
+        page_size=nr,
+        n_pages=n_pages,
+        max_batch=args.max_batch,
+        n_gpus=args.n_gpus,
+        max_steps=args.steps,
+        prefill_chunk_tokens=args.prefill_chunk,
+    )
+    analytical = ContinuousBatchingEngine(EngineConfig(attention=kernel, **common), trace).run()
+    executed = ContinuousBatchingEngine(
+        EngineConfig(
+            backend=PagedBitBackend(kernel), execute=True, execute_seed=args.seed, **common
+        ),
+        trace,
+    ).run()
+    match = (
+        executed.executed_tokens == executed.total_generated_tokens
+        and executed.total_generated_tokens == analytical.total_generated_tokens
+        and executed.decode_steps == analytical.decode_steps
+        and executed.prefill_steps == analytical.prefill_steps
+        and executed.preemptions == analytical.preemptions
+    )
+    if args.json:
+        print(json.dumps({
+            "model": model.name,
+            "arch": arch.name,
+            "mode": "execute",
+            "page_size": nr,
+            "schedule_match": match,
+            "reports": {
+                "analytical": analytical.to_dict(),
+                "executed": executed.to_dict(),
+            },
+        }, indent=2))
+    else:
+        print(
+            f"serve-sim --execute: {model.name} on {arch.name} | INT4 paged-bit, "
+            f"page {nr} tok (= N_r), {n_pages} pages"
+        )
+        for label, r in (("analytical", analytical), ("executed", executed)):
+            ran = "-" if r.executed_tokens is None else str(r.executed_tokens)
+            print(
+                f"  {label:<10} generated {r.total_generated_tokens:>5} tok "
+                f"(ran {ran:>5}), decode steps {r.decode_steps}, "
+                f"preemptions {r.preemptions}, done {r.completed}"
+            )
+        print(f"token counts match the analytical schedule: {match}")
+    if not match:
+        sys.exit(1)
+
+
 def _cmd_serve_sim(args) -> None:
     import json
 
@@ -119,13 +213,21 @@ def _cmd_serve_sim(args) -> None:
             prompt_jitter=args.prompt_jitter,
             output_jitter=args.output_jitter,
         )
-        stacks = paper_serving_stacks(model, arch, residual_window=args.residual_window)
+        if args.execute:
+            _cmd_serve_sim_execute(args, model, arch, trace)
+            return
+        if args.pages is not None:
+            print("serve-sim: --pages only applies to --execute runs")
+            sys.exit(2)
+        page_size = 64 if args.page_size is None else args.page_size
+        residual_window = 64 if args.residual_window is None else args.residual_window
+        stacks = paper_serving_stacks(model, arch, residual_window=residual_window)
         reports = compare_formats(
             model,
             arch,
             stacks,
             trace,
-            page_size=args.page_size,
+            page_size=page_size,
             max_batch=args.max_batch,
             n_gpus=args.n_gpus,
             max_steps=args.steps,
@@ -159,7 +261,7 @@ def _cmd_serve_sim(args) -> None:
     )
     print(
         f"prompt {args.prompt_len} tok, output {args.output_len} tok, "
-        f"page {args.page_size} tok, max batch {args.max_batch}"
+        f"page {page_size} tok, max batch {args.max_batch}"
         + (f", step cap {args.steps}" if args.steps else "")
         + (
             f", chunked prefill {args.prefill_chunk} tok/step"
@@ -206,9 +308,21 @@ def main(argv=None) -> None:
     serve.add_argument("--prompt-jitter", type=float, default=0.0)
     serve.add_argument("--output-jitter", type=float, default=0.0)
     serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument("--page-size", type=int, default=64)
+    serve.add_argument(
+        "--page-size",
+        type=int,
+        default=None,
+        help="pool page size in tokens (default 64; incompatible with "
+        "--execute, which uses N_r)",
+    )
     serve.add_argument("--max-batch", type=int, default=384)
-    serve.add_argument("--residual-window", type=int, default=64)
+    serve.add_argument(
+        "--residual-window",
+        type=int,
+        default=None,
+        help="FP16 residual window tokens per sequence (default 64; "
+        "incompatible with --execute, which uses N_r)",
+    )
     serve.add_argument("--n-gpus", type=int, default=1)
     serve.add_argument("--steps", type=int, default=None, help="scheduler step cap")
     serve.add_argument(
@@ -216,6 +330,18 @@ def main(argv=None) -> None:
         type=int,
         default=None,
         help="chunked-prefill token budget per step (None = whole-prompt prefill)",
+    )
+    serve.add_argument(
+        "--execute",
+        action="store_true",
+        help="run real tokens through TinyTransformer + the paged low-bit "
+        "cache (use a tiny model, e.g. --model tiny)",
+    )
+    serve.add_argument(
+        "--pages",
+        type=int,
+        default=None,
+        help="page-pool size for --execute runs (pages of N_r tokens; default 96)",
     )
     serve.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)

@@ -1,0 +1,478 @@
+"""Paged low-bit KV cache: packed words in a shared page pool.
+
+This is the serving-side cache the paper's system implies but the
+reproduction never had: the *same* struct-of-arrays packed-word /
+``half2``-metadata tensors the contiguous :class:`BitKVCache` stores,
+re-homed into a fixed pool of physical pages indexed by per-sequence
+block tables.  One page holds one Tensor-Core-aligned packed block
+(``N_r`` tokens across every KV head of one sequence), so:
+
+- a page is exactly one flush's output — pages are written whole, never
+  partially, which is what makes recycled pages safe (a reused page is
+  fully overwritten before any decode can read it);
+- the page *id* space is owned by :class:`~repro.pages.page_table.PageTable`
+  over :class:`~repro.pages.allocator.PageAllocator` — the same machinery
+  the serving engine schedules with, so admission, chunked prefill and
+  preemption manipulate the very pages the numerics read, and preempting
+  a sequence frees *packed* pages, not fp16 rows;
+- the newest ``< N_r`` tokens live in a per-sequence FP16 residual slot
+  (the paper's two-part cache), reserved per batch slot exactly as
+  :func:`repro.model.memory.page_pool_size` accounts it.
+
+Storage is bit-identical to the contiguous cache: blocks are produced by
+the same :func:`~repro.core.residual_kernel.flush_blocks` and read back
+through the same :class:`~repro.core.residual_kernel.PackedBlockBatch`
+dequant, so a paged decode and a contiguous decode of the same tokens
+agree exactly under ``numerics_mode="exact_tiled"`` (the parity suite in
+``tests/attn`` enforces it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.attn.protocol import (
+    AttentionBackend,
+    KVCacheHandle,
+    coerce_engine,
+    register_backend,
+)
+from repro.attn.reference import chunked_causal_attention
+from repro.core.attention import BitDecoding
+from repro.core.config import BitDecodingConfig
+from repro.core.quantization import QuantParams
+from repro.core.residual_kernel import PackedBlockBatch, flush_blocks
+from repro.gpu.arch import ArchSpec
+from repro.pages.allocator import OutOfPagesError, PageAllocator
+from repro.pages.page_table import PageTable
+
+
+class PagedSeqHandle(KVCacheHandle):
+    """One sequence's block table into a :class:`PagedBitKVCache`.
+
+    Duck-types the cache interface :meth:`BitDecoding.decode` reads
+    (``config`` / ``batch`` / ``hkv`` / ``head_dim`` / ``dequant_kv`` /
+    ``residual_kv``), so decode over a paged sequence runs through the
+    exact same kernel code path as the contiguous cache.
+    """
+
+    seq_len = 0
+    batch = 1
+
+    def __init__(self, store: "PagedBitKVCache", seq_id: int, slot: int):
+        self.store = store
+        self.seq_id = seq_id
+        self.slot = slot
+        self.seq_len = 0
+        self._dequant_memo: Optional[Tuple[int, Tuple[np.ndarray, np.ndarray]]] = None
+
+    @property
+    def config(self) -> BitDecodingConfig:
+        return self.store.config
+
+    @property
+    def hkv(self) -> int:
+        return self.store.hkv
+
+    @property
+    def head_dim(self) -> int:
+        return self.store.head_dim
+
+    @property
+    def n_blocks(self) -> int:
+        """Complete packed blocks (= pages actually holding packed words)."""
+        return self.seq_len // self.store.block_tokens
+
+    @property
+    def res_len(self) -> int:
+        """Tokens currently in this sequence's FP16 residual slot."""
+        return self.seq_len % self.store.block_tokens
+
+    @property
+    def block_ids(self) -> List[int]:
+        """Physical page ids of the packed blocks, in logical order."""
+        return self.store.table.sequences[self.seq_id].pages[: self.n_blocks]
+
+    def dequant_kv(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.store.dequant_seq(self)
+
+    def residual_kv(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.store.residual_view(self)
+
+
+class PagedBatchHandle(KVCacheHandle):
+    """A lock-step batch of paged sequences over one shared store."""
+
+    def __init__(self, store: "PagedBitKVCache", seqs: List[PagedSeqHandle]):
+        self.store = store
+        self.seqs = seqs
+
+    @property
+    def seq_len(self) -> int:
+        return self.seqs[0].seq_len if self.seqs else 0
+
+
+class PagedBitKVCache:
+    """Page-pool storage for one layer's packed low-bit K/V.
+
+    The pool arrays mirror :class:`PackedBlockBatch` with the block axis
+    promoted to a *physical page* axis: ``k_words``/``v_words`` are
+    ``[n_pages, hkv, ...fragment words...]`` and the quantization
+    metadata ``[n_pages, hkv, ...group stats...]``.  FP16 residual slots
+    are ``[n_slots, hkv, N_r, d]`` pairs handed out per resident
+    sequence by their own :class:`PageAllocator` (the serving memory
+    model reserves residual buffers per batch slot, not per page).
+
+    Pass ``table`` to share an externally scheduled
+    :class:`~repro.pages.page_table.PageTable` (the serving engine's):
+    page reservation then belongs to the scheduler and
+    :meth:`write_rows` only fills what was reserved.  Without ``table``
+    the store owns its table and reserves pages as it writes.
+    """
+
+    def __init__(
+        self,
+        config: BitDecodingConfig,
+        hkv: int,
+        head_dim: int,
+        n_pages: int = 256,
+        n_slots: int = 16,
+        table: Optional[PageTable] = None,
+    ):
+        if config.version == "fp4":
+            raise NotImplementedError(
+                "the paged pool stores integer packed words; the FP4 "
+                "micro-scaling path has no paged backend yet"
+            )
+        if min(hkv, head_dim, n_slots) <= 0:
+            raise ValueError("hkv, head_dim and n_slots must be positive")
+        self.config = config
+        self.hkv = hkv
+        self.head_dim = head_dim
+        nr = config.residual_block_size
+        self.block_tokens = nr
+        if table is None:
+            table = PageTable(PageAllocator(n_pages), page_size=nr)
+            self.shared_table = False
+        else:
+            if table.page_size != nr:
+                raise ValueError(
+                    f"shared page table's page_size ({table.page_size}) must equal "
+                    f"the residual block size N_r ({nr}): one page holds one "
+                    "packed block"
+                )
+            self.shared_table = True
+        self.table = table
+        n_pages = table.allocator.n_pages
+
+        # One probe flush fixes every pool shape/dtype: the fragment-word
+        # tensor and group-stat layouts depend only on (N_r, d, config),
+        # never on batch/hkv/block count.
+        zeros = np.zeros((1, 1, 1, nr, head_dim), np.float16)
+        probe = flush_blocks(zeros, zeros, config)
+        self._layout_name = probe.layout_name
+        self._k_axis = probe.k_params.axis
+        self._k_group = probe.k_params.group_size
+        self._v_axis = probe.v_params.axis
+        self._v_group = probe.v_params.group_size
+        self.k_words = np.zeros((n_pages, hkv) + probe.k_words.shape[3:], probe.k_words.dtype)
+        self.v_words = np.zeros((n_pages, hkv) + probe.v_words.shape[3:], probe.v_words.dtype)
+        self.k_scale = np.zeros((n_pages, hkv) + probe.k_params.scale.shape[3:], np.float32)
+        self.k_zero = np.zeros_like(self.k_scale)
+        self.v_scale = np.zeros((n_pages, hkv) + probe.v_params.scale.shape[3:], np.float32)
+        self.v_zero = np.zeros_like(self.v_scale)
+        self.slots = PageAllocator(n_slots)
+        self.res_k = np.zeros((n_slots, hkv, nr, head_dim), np.float16)
+        self.res_v = np.zeros((n_slots, hkv, nr, head_dim), np.float16)
+
+    # ---------------------------------------------------------- sequences
+
+    def adopt(self, seq_id: int) -> PagedSeqHandle:
+        """Bind an externally registered page-table sequence to the pool."""
+        try:
+            slot = self.slots.allocate()
+        except OutOfPagesError as err:
+            raise OutOfPagesError(
+                f"all {self.slots.n_pages} residual slots in use; release "
+                "finished sequences or construct the pool with more n_slots"
+            ) from err
+        return PagedSeqHandle(self, seq_id, slot)
+
+    def add_sequence(self) -> PagedSeqHandle:
+        """Register a fresh empty sequence (store-owned table mode)."""
+        return self.adopt(self.table.add_sequence(0))
+
+    def free_slot(self, handle: PagedSeqHandle) -> None:
+        """Return the residual slot; the scheduler owns the pages."""
+        self.slots.free(handle.slot)
+        handle._dequant_memo = None
+
+    def release(self, handle: PagedSeqHandle) -> None:
+        """Free the sequence's pages and residual slot."""
+        self.table.release_sequence(handle.seq_id)
+        self.free_slot(handle)
+
+    def reserve(self, handle: PagedSeqHandle, n_tokens: int) -> None:
+        """Reserve pages for ``n_tokens`` more tokens (store-owned mode).
+
+        With a shared (scheduler-owned) table this is a no-op: the engine
+        reserved the pages when it admitted/extended the sequence, and
+        :meth:`write_rows` enforces that the reservation exists.
+        """
+        if not self.shared_table:
+            self.table.extend_sequence(handle.seq_id, n_tokens)
+
+    # -------------------------------------------------------------- writes
+
+    def write_rows(self, handle: PagedSeqHandle, k_rows: np.ndarray, v_rows: np.ndarray) -> None:
+        """Append ``n`` tokens' K/V (``[hkv, n, d]``) to a sequence.
+
+        Rows stream through the residual slot; every time the slot fills
+        to ``N_r`` the completed block is quantized+packed by the same
+        :func:`flush_blocks` the contiguous cache uses and written whole
+        into the sequence's next physical page.  Runs of complete blocks
+        (bulk prefill) skip the slot and flush straight from the input in
+        one batched call — bit-identical, per-block independence.
+        """
+        k_rows = np.asarray(k_rows, np.float16)
+        v_rows = np.asarray(v_rows, np.float16)
+        if k_rows.shape != v_rows.shape or k_rows.ndim != 3:
+            raise ValueError("K and V rows must share an [hkv, n, d] shape")
+        n = k_rows.shape[1]
+        seq = self.table.sequences[handle.seq_id]
+        if handle.seq_len + n > seq.length:
+            raise ValueError(
+                f"write of {n} tokens at {handle.seq_len} exceeds the "
+                f"sequence's reserved length ({seq.length}); reserve pages first"
+            )
+        nr = self.block_tokens
+        res_k = self.res_k[handle.slot]
+        res_v = self.res_v[handle.slot]
+        written = 0
+        while written < n:
+            fill = handle.seq_len % nr
+            remaining = n - written
+            if fill == 0 and remaining >= nr:
+                nb = remaining // nr
+                shape = (self.hkv, nb, nr, self.head_dim)
+                flushed = flush_blocks(
+                    k_rows[:, written : written + nb * nr].reshape(shape)[None],
+                    v_rows[:, written : written + nb * nr].reshape(shape)[None],
+                    self.config,
+                )
+                first = handle.seq_len // nr
+                self._store_blocks(seq.pages[first : first + nb], flushed)
+                handle.seq_len += nb * nr
+                written += nb * nr
+                continue
+            take = min(nr - fill, remaining)
+            res_k[:, fill : fill + take] = k_rows[:, written : written + take]
+            res_v[:, fill : fill + take] = v_rows[:, written : written + take]
+            handle.seq_len += take
+            written += take
+            if handle.seq_len % nr == 0:
+                flushed = flush_blocks(res_k[None, :, None], res_v[None, :, None], self.config)
+                self._store_blocks([seq.pages[handle.seq_len // nr - 1]], flushed)
+
+    def _store_blocks(self, pages: List[int], flushed: PackedBlockBatch) -> None:
+        """Write a flush's blocks into physical pages, whole pages only."""
+        idx = np.asarray(pages)
+        self.k_words[idx] = flushed.k_words[0].swapaxes(0, 1)
+        self.v_words[idx] = flushed.v_words[0].swapaxes(0, 1)
+        self.k_scale[idx] = flushed.k_params.scale[0].swapaxes(0, 1)
+        self.k_zero[idx] = flushed.k_params.zero[0].swapaxes(0, 1)
+        self.v_scale[idx] = flushed.v_params.scale[0].swapaxes(0, 1)
+        self.v_zero[idx] = flushed.v_params.zero[0].swapaxes(0, 1)
+
+    # --------------------------------------------------------------- reads
+
+    def _dequant_pages(self, pages: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather pages into a :class:`PackedBlockBatch` and dequantize."""
+
+        def gather(pool: np.ndarray) -> np.ndarray:
+            return np.ascontiguousarray(pool[pages].swapaxes(0, 1))[None]
+
+        batch = PackedBlockBatch(
+            length=self.block_tokens,
+            head_dim=self.head_dim,
+            bits=self.config.bits,
+            word_bits=self.config.word_bits,
+            layout_name=self._layout_name,
+            k_words=gather(self.k_words),
+            v_words=gather(self.v_words),
+            k_params=QuantParams(
+                scale=gather(self.k_scale),
+                zero=gather(self.k_zero),
+                axis=self._k_axis,
+                group_size=self._k_group,
+                bits=self.config.bits,
+            ),
+            v_params=QuantParams(
+                scale=gather(self.v_scale),
+                zero=gather(self.v_zero),
+                axis=self._v_axis,
+                group_size=self._v_group,
+                bits=self.config.bits,
+            ),
+        )
+        return batch.dequant_kv(self.config)
+
+    def dequant_seq(self, handle: PagedSeqHandle) -> Tuple[np.ndarray, np.ndarray]:
+        """FP32 ``[1, hkv, packed_len, d]`` reconstruction, memoized.
+
+        Blocks are append-only for a live handle, so the memo extends
+        with just the new pages' dequant on a flush — bit-identical to a
+        full rebuild by per-block independence, and O(new blocks) per
+        step instead of O(context).
+        """
+        nb = handle.n_blocks
+        if nb == 0:
+            empty = np.zeros((1, self.hkv, 0, self.head_dim), np.float32)
+            return empty, empty
+        memo = handle._dequant_memo
+        if memo is not None and memo[0] == nb:
+            return memo[1]
+        pages = np.asarray(self.table.sequences[handle.seq_id].pages[:nb])
+        if memo is not None and memo[0] < nb:
+            k_new, v_new = self._dequant_pages(pages[memo[0] :])
+            kv = (
+                np.concatenate([memo[1][0], k_new], axis=2),
+                np.concatenate([memo[1][1], v_new], axis=2),
+            )
+        else:
+            kv = self._dequant_pages(pages)
+        handle._dequant_memo = (nb, kv)
+        return kv
+
+    def residual_view(self, handle: PagedSeqHandle) -> Tuple[np.ndarray, np.ndarray]:
+        """Valid FP16 residual rows, ``[1, hkv, res_len, d]``."""
+        n = handle.res_len
+        return (
+            self.res_k[handle.slot][None, :, :n],
+            self.res_v[handle.slot][None, :, :n],
+        )
+
+    # ------------------------------------------------------------ accounting
+
+    @property
+    def packed_nbytes(self) -> int:
+        """Physical bytes of the packed-word pool (all pages)."""
+        return self.k_words.nbytes + self.v_words.nbytes
+
+    @property
+    def meta_nbytes(self) -> int:
+        """Physical bytes of the quantization-metadata pool."""
+        k_meta = self.k_scale.nbytes + self.k_zero.nbytes
+        return k_meta + self.v_scale.nbytes + self.v_zero.nbytes
+
+    @property
+    def residual_nbytes(self) -> int:
+        """Physical bytes of the FP16 residual slots."""
+        return self.res_k.nbytes + self.res_v.nbytes
+
+
+@register_backend
+class PagedBitBackend(AttentionBackend):
+    """Quantized decode over the paged pool, behind per-sequence block tables.
+
+    All handles of one cache geometry ``(hkv, head_dim)`` share a single
+    lazily-created :class:`PagedBitKVCache` — releasing one handle's
+    sequences really does recycle its packed pages for whichever handle
+    is admitted next, which is the serving contract preemption relies on
+    (and what the page-recycling tests exercise through this API).
+    Sequences in a handle may have *different* lengths (ragged serving
+    batches): decode loops per sequence, each through the very same
+    :meth:`BitDecoding.decode` kernel path the contiguous backend uses,
+    against that sequence's gathered pages.
+    """
+
+    name = "paged-bit"
+
+    def __init__(
+        self,
+        engine: Union[BitDecoding, BitDecodingConfig, None] = None,
+        arch: Union[ArchSpec, str] = "a100",
+        n_pages: int = 256,
+        n_slots: int = 64,
+    ):
+        self.engine = coerce_engine(engine, arch)
+        self.config = self.engine.config
+        self.n_pages = n_pages
+        self.n_slots = n_slots
+        self._stores: dict = {}
+
+    @property
+    def attention_system(self) -> BitDecoding:
+        return self.engine
+
+    # ------------------------------------------------------------- numerics
+
+    def store_for(self, hkv: int, head_dim: int) -> PagedBitKVCache:
+        """The shared page pool of one cache geometry (created lazily)."""
+        key = (hkv, head_dim)
+        store = self._stores.get(key)
+        if store is None:
+            store = PagedBitKVCache(
+                self.config, hkv, head_dim, n_pages=self.n_pages, n_slots=self.n_slots
+            )
+            self._stores[key] = store
+        return store
+
+    def new_handle(self, batch: int, hkv: int, head_dim: int) -> PagedBatchHandle:
+        store = self.store_for(hkv, head_dim)
+        return PagedBatchHandle(store, [store.add_sequence() for _ in range(batch)])
+
+    def _context(self, seqh: PagedSeqHandle):
+        """FP32 reconstruction of a sequence's cached context (pre-write)."""
+        if seqh.seq_len == 0:
+            return None, None
+        store = seqh.store
+        k_hat, v_hat = store.dequant_seq(seqh)
+        k_res, v_res = store.residual_view(seqh)
+        if k_res.shape[2]:
+            k_hat = np.concatenate([k_hat, k_res.astype(np.float32)], axis=2)
+            v_hat = np.concatenate([v_hat, v_res.astype(np.float32)], axis=2)
+        return k_hat, v_hat
+
+    def prefill(
+        self,
+        q: Optional[np.ndarray],
+        kv: Tuple[np.ndarray, np.ndarray],
+        block_table: KVCacheHandle,
+    ) -> Optional[np.ndarray]:
+        bt: PagedBatchHandle = block_table
+        k, v = kv
+        n = k.shape[2]
+        outs = []
+        for b, seqh in enumerate(bt.seqs):
+            ctx_k, ctx_v = self._context(seqh) if q is not None else (None, None)
+            bt.store.reserve(seqh, n)
+            bt.store.write_rows(seqh, k[b], v[b])
+            if q is not None:
+                out = chunked_causal_attention(
+                    q[b : b + 1], ctx_k, ctx_v, k[b : b + 1], v[b : b + 1]
+                )
+                outs.append(out)
+        if q is None:
+            return None
+        return np.concatenate(outs, axis=0)
+
+    def append_kv(self, kv: Tuple[np.ndarray, np.ndarray], block_table: KVCacheHandle) -> None:
+        bt: PagedBatchHandle = block_table
+        k, v = kv
+        for b, seqh in enumerate(bt.seqs):
+            bt.store.reserve(seqh, 1)
+            bt.store.write_rows(seqh, k[b][:, None], v[b][:, None])
+
+    def decode_step(self, q: np.ndarray, block_table: KVCacheHandle) -> np.ndarray:
+        bt: PagedBatchHandle = block_table
+        outs = [self.engine.decode(q[b : b + 1], seqh) for b, seqh in enumerate(bt.seqs)]
+        return np.concatenate(outs, axis=0)
+
+    def release(self, block_table: KVCacheHandle) -> None:
+        bt: PagedBatchHandle = block_table
+        for seqh in bt.seqs:
+            bt.store.release(seqh)
+        bt.seqs = []

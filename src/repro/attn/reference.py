@@ -1,0 +1,74 @@
+"""Exact grouped-query prefill attention shared by the numeric backends.
+
+Prefill is not the paper's focus (the kernels are about *decode* over a
+low-bit cache), so every backend computes prefill attention the same
+exact way: one grouped-query einsum per chunk, causal within the chunk,
+unmasked over whatever context the cache already holds.  Keeping the
+math in one place is what makes backend prefill outputs comparable
+bit-for-bit — the transformer's old ``_attend_prefill`` is exactly the
+``cached_len == 0`` case of :func:`chunked_causal_attention`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+
+def causal_mask(seq: int) -> np.ndarray:
+    """``(seq, seq)`` additive mask: ``-inf`` strictly above the diagonal.
+
+    Built once per attention call and shared by every head — a 32k-token
+    prefill allocates one O(seq^2) mask, not O(heads * seq^2) of them.
+    The fill goes through a boolean upper-triangle (one byte per element
+    of scratch); ``np.triu_indices`` would transiently cost ~2x the mask
+    itself in int64 index arrays at that scale.
+    """
+    mask = np.zeros((seq, seq), dtype=np.float32)
+    rows = np.arange(seq)
+    mask[rows[:, None] < rows[None, :]] = -np.inf
+    return mask
+
+
+def chunked_causal_attention(
+    q: np.ndarray,
+    k_ctx: Optional[np.ndarray],
+    v_ctx: Optional[np.ndarray],
+    k_new: np.ndarray,
+    v_new: np.ndarray,
+) -> np.ndarray:
+    """Exact attention of a prefill chunk over context + itself (causal).
+
+    ``q`` is ``[batch, n, hq, d]`` (post-RoPE); ``k_ctx``/``v_ctx`` are
+    the ``[batch, hkv, cached, d]`` context the cache already holds (None
+    or zero-length for a fresh prompt); ``k_new``/``v_new`` are the
+    chunk's ``[batch, hkv, n, d]``.  Chunk queries see every context
+    token plus their own causal prefix.  Returns ``[batch, n, hq, d]``.
+    """
+    q = np.asarray(q, dtype=np.float32)
+    k_new = np.asarray(k_new, dtype=np.float32)
+    v_new = np.asarray(v_new, dtype=np.float32)
+    batch, n, hq, d = q.shape
+    hkv = k_new.shape[1]
+    gq = hq // hkv
+    cached = 0 if k_ctx is None else k_ctx.shape[2]
+    if cached:
+        k_all = np.concatenate([np.asarray(k_ctx, np.float32), k_new], axis=2)
+        v_all = np.concatenate([np.asarray(v_ctx, np.float32), v_new], axis=2)
+        mask = np.concatenate([np.zeros((n, cached), np.float32), causal_mask(n)], axis=1)
+    else:
+        k_all, v_all = k_new, v_new
+        mask = causal_mask(n)
+    # (b, n, hq, d) -> (b, hq, n, d) -> grouped (b, hkv, gq, n, d)
+    qg = q.transpose(0, 2, 1, 3).reshape(batch, hkv, gq, n, d)
+    scale = 1.0 / math.sqrt(d)
+    s = np.einsum("bhgqd,bhkd->bhgqk", qg, k_all, optimize=True) * scale
+    s += mask
+    s -= s.max(axis=-1, keepdims=True)
+    p = np.exp(s)
+    p /= p.sum(axis=-1, keepdims=True)
+    out = np.einsum("bhgqk,bhkd->bhgqd", p, v_all, optimize=True)
+    out = out.reshape(batch, hq, n, d)
+    return out.transpose(0, 2, 1, 3)

@@ -1,0 +1,144 @@
+"""Real token execution behind the serving engine's scheduler.
+
+The :class:`ModelRunner` closes the loop the reproduction was missing:
+the continuous-batching engine's admission / chunked-prefill / preemption
+decisions act on a :class:`~repro.pages.page_table.PageTable`, and the
+runner's per-layer :class:`~repro.attn.paged.PagedBitKVCache` pools are
+indexed by *those same page ids* — one logical page is one packed block
+of one sequence across every layer.  When the scheduler reserves pages,
+the runner fills them with real packed words; when it preempts, the
+freed pages really do contain a victim's quantized KV.
+
+Requests carry lengths, not text, so the runner synthesizes a
+deterministic input program per request: prompt embeddings seeded by the
+request id, then each decode step feeds the previous step's hidden state
+back in.  Preemption keeps the program (prompt + consumed decode inputs)
+and drops the cache; re-admission re-prefills the recorded context —
+recompute-style recovery over the real numeric path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.attn.paged import PagedBatchHandle, PagedBitBackend, PagedBitKVCache
+from repro.model.transformer import CacheSession, TinyTransformer
+from repro.pages.page_table import PageTable
+
+
+@dataclass
+class _SequenceProgram:
+    """One request's deterministic inputs and live decode state."""
+
+    inputs: List[np.ndarray]
+    session: Optional[CacheSession] = None
+    written: int = 0
+    pending: Optional[np.ndarray] = None
+    handles: List[PagedBatchHandle] = field(default_factory=list)
+
+
+class ModelRunner:
+    """TinyTransformer + paged low-bit caches over the engine's page table."""
+
+    def __init__(
+        self,
+        model,
+        backend: PagedBitBackend,
+        table: PageTable,
+        n_slots: int,
+        seed: int = 0,
+    ):
+        if not backend.executes_tokens:
+            raise ValueError(f"backend {backend.name!r} cannot execute tokens")
+        if not isinstance(backend, PagedBitBackend):
+            raise TypeError(
+                "real execution shares the scheduler's page table, which "
+                "only the paged-bit backend supports"
+            )
+        nr = backend.config.residual_block_size
+        if table.page_size != nr:
+            raise ValueError(
+                f"execute mode needs page_size == N_r ({nr}) so one scheduler "
+                f"page is one packed block; got page_size {table.page_size}"
+            )
+        self.backend = backend
+        self.model = model
+        self.tt = TinyTransformer(
+            n_layers=model.n_layers,
+            hq=model.hq,
+            hkv=model.hkv,
+            head_dim=model.head_dim,
+            hidden=model.hidden,
+            intermediate=model.intermediate,
+            backend=backend,
+            seed=seed,
+        )
+        cfg = backend.config
+        self.stores = [
+            PagedBitKVCache(cfg, model.hkv, model.head_dim, n_slots=n_slots, table=table)
+            for _ in range(model.n_layers)
+        ]
+        self.seed = seed
+        self.executed_tokens = 0
+        self._programs: Dict[int, _SequenceProgram] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _prompt_inputs(self, req_id: int, prompt_len: int) -> List[np.ndarray]:
+        rng = np.random.default_rng([self.seed, req_id])
+        rows = (rng.standard_normal((prompt_len, self.model.hidden)) * 0.25).astype(np.float32)
+        return list(rows)
+
+    def on_admit(self, lc) -> None:
+        """Bind a just-admitted sequence to pool slots and a fresh session.
+
+        Re-admission after preemption reuses the recorded input program,
+        so the recomputed context is exactly the one the scheduler's
+        ``prefill_target`` promises (prompt plus generated-so-far).
+        """
+        req = lc.request
+        prog = self._programs.get(req.req_id)
+        if prog is None:
+            prog = _SequenceProgram(inputs=self._prompt_inputs(req.req_id, req.prompt_len))
+            self._programs[req.req_id] = prog
+        prog.handles = [PagedBatchHandle(s, [s.adopt(lc.seq_id)]) for s in self.stores]
+        prog.session = self.tt.new_session(prog.handles)
+        prog.written = 0
+        prog.pending = None
+
+    def prefill(self, lc, n_tokens: int) -> None:
+        """Run one prefill chunk through the model into reserved pages."""
+        prog = self._programs[lc.request.req_id]
+        x = np.stack(prog.inputs[prog.written : prog.written + n_tokens])[None]
+        h = self.tt.prefill_chunk(x, prog.session)
+        prog.written += n_tokens
+        if prog.written >= lc.prefill_target:
+            prog.pending = h[0, -1]
+
+    def decode(self, lc) -> None:
+        """Advance a decode-ready sequence by one real token."""
+        prog = self._programs[lc.request.req_id]
+        x = prog.pending
+        prog.inputs.append(x)  # consumed input: part of the recompute context
+        h = self.tt.decode_step(x[None], prog.session)
+        prog.pending = h[0]
+        self.executed_tokens += 1
+
+    def _free(self, prog: _SequenceProgram) -> None:
+        for handle in prog.handles:
+            for seqh in handle.seqs:
+                handle.store.free_slot(seqh)
+        prog.handles = []
+        prog.session = None
+        prog.written = 0
+        prog.pending = None
+
+    def on_preempt(self, lc) -> None:
+        """Drop the cache binding; the scheduler frees the pages itself."""
+        self._free(self._programs[lc.request.req_id])
+
+    def on_finish(self, lc) -> None:
+        self._free(self._programs.pop(lc.request.req_id))

@@ -65,9 +65,7 @@ class Atom:
         trace.fma_flops += gemv_flops / CUDA_GEMV_EFFICIENCY
 
         # Naive casts, issued inside the degraded FMA GEMV stream.
-        dq = dequant_ops(geom.kv_elements, self.bits, "cvt").scaled(
-            1.0 / CUDA_GEMV_EFFICIENCY
-        )
+        dq = dequant_ops(geom.kv_elements, self.bits, "cvt").scaled(1.0 / CUDA_GEMV_EFFICIENCY)
         trace.merge(dq)
         trace.merge(
             softmax_ops(

@@ -43,9 +43,7 @@ def l2_hit_fraction(arch: ArchSpec, stream_bytes: float) -> float:
     return min(L2_HIT_CAP, l2_bytes / stream_bytes)
 
 
-def gqa_reread_traffic(
-    arch: ArchSpec, geom: AttentionGeometry, kv_bytes: float
-) -> tuple:
+def gqa_reread_traffic(arch: ArchSpec, geom: AttentionGeometry, kv_bytes: float) -> tuple:
     """(DRAM bytes, L2 bytes) for a kernel that streams KV per *query* head.
 
     The cache is semantically ``kv_bytes``; a query-head-parallel kernel
@@ -62,9 +60,7 @@ def gqa_reread_traffic(
     return dram, l2
 
 
-def int_kv_metadata_bytes(
-    geom: AttentionGeometry, group_size: int, seq_len: float = None
-) -> float:
+def int_kv_metadata_bytes(geom: AttentionGeometry, group_size: int, seq_len: float = None) -> float:
     """half2 scale/zero bytes for an integer-quantized KV cache.
 
     Assumes channel-wise keys (one half2 per channel per ``group_size``

@@ -54,9 +54,7 @@ def build_repack_launch(
     trace = OpTrace()
     trace.gmem_read(packed_bytes)
     trace.gmem_write(packed_bytes)
-    trace.merge(
-        quant_pack_ops(float(geom.kv_elements), config.bits, config.key_group_size)
-    )
+    trace.merge(quant_pack_ops(float(geom.kv_elements), config.bits, config.key_group_size))
     return KernelLaunch(
         name="continuous_repack",
         trace=trace,

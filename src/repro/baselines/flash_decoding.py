@@ -89,9 +89,7 @@ class FlashDecodingV2:
         trace.merge(rescale_accum_ops(m_pad * d * tiles))
         # FP16 tiles staged through smem (cp.async in + ldmatrix out).
         trace.smem_traffic(2.0 * geom.kv_bytes_fp16)
-        trace.barriers_per_block += 2.0 * math.ceil(
-            geom.seq_len / (splits * self.tile_n)
-        )
+        trace.barriers_per_block += 2.0 * math.ceil(geom.seq_len / (splits * self.tile_n))
 
         grid = heads * splits
         # K+V FP16 tiles + Q; double-buffer only where the SM has room
@@ -103,9 +101,7 @@ class FlashDecodingV2:
         occ = occupancy(self.arch, grid, _FA2_WARPS, smem)
         # FP16 kernels have no dequantization to stall on; overlap quality
         # is set by the cp.async double buffering and resident warps.
-        hide = memory_hide_factor(
-            occ.blocks_per_sm * _FA2_WARPS, pipelined=True
-        )
+        hide = memory_hide_factor(occ.blocks_per_sm * _FA2_WARPS, pipelined=True)
         return KernelLaunch(
             name=self.name,
             trace=trace,

@@ -58,9 +58,7 @@ class Kivi:
 
     # -------------------------------------------------------------- numerics
 
-    def run_numeric(
-        self, q: np.ndarray, k_hat: np.ndarray, v_hat: np.ndarray
-    ) -> np.ndarray:
+    def run_numeric(self, q: np.ndarray, k_hat: np.ndarray, v_hat: np.ndarray) -> np.ndarray:
         """Non-fused attention: full score matrix materialized (no tiling).
 
         ``k_hat``/``v_hat`` are dequantized rows (the quantization error is
@@ -119,9 +117,7 @@ class Kivi:
         grid = geom.batch * geom.hq * max(1, math.ceil(geom.seq_len / 128))
         smem = 48 * 1024
         occ = occupancy(self.arch, grid, _KIVI_WARPS, smem)
-        hide = memory_hide_factor(
-            occ.blocks_per_sm * _KIVI_WARPS, pipelined=True
-        )
+        hide = memory_hide_factor(occ.blocks_per_sm * _KIVI_WARPS, pipelined=True)
         return KernelLaunch(
             name=self.name,
             trace=trace,
@@ -151,6 +147,4 @@ class Kivi:
         return 2.0 * float(geom.seq_len) ** 2 * 2.0
 
     def cache_bytes(self, geom: AttentionGeometry) -> float:
-        return geom.kv_elements * self.bits / 8.0 + int_kv_metadata_bytes(
-            geom, self.group_size
-        )
+        return geom.kv_elements * self.bits / 8.0 + int_kv_metadata_bytes(geom, self.group_size)

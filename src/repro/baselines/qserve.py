@@ -122,6 +122,4 @@ class QServe:
         return self.decode_result(geom, paged=paged).time_ms
 
     def cache_bytes(self, geom: AttentionGeometry) -> float:
-        return geom.kv_elements * self.bits / 8.0 + int_kv_metadata_bytes(
-            geom, self.group_size
-        )
+        return geom.kv_elements * self.bits / 8.0 + int_kv_metadata_bytes(geom, self.group_size)

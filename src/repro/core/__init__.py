@@ -13,10 +13,17 @@ Subpackage map (paper section in parentheses):
 - :mod:`repro.core.query_transform` — GQA/MQA query grouping (V-A)
 - :mod:`repro.core.pipeline` — software pipeline model (V-C(2))
 - :mod:`repro.core.arch_support` — Hopper/Blackwell paths (V-D)
-- :mod:`repro.core.attention` — public cache + engine API
+- :mod:`repro.core.attention` — the contiguous cache + decode engine
+
+The *public* cache/engine API moved to :mod:`repro.attn` (the
+``AttentionBackend`` protocol and its paged / contiguous / analytical
+implementations).  ``repro.core.BitDecoding`` and ``repro.core.BitKVCache``
+remain importable as deprecation shims; the classes themselves live on in
+:mod:`repro.core.attention` as the contiguous backend's internals.
 """
 
-from repro.core.attention import BitDecoding, BitKVCache
+import warnings
+
 from repro.core.config import AttentionGeometry, BitDecodingConfig
 from repro.core.quantization import QuantScheme
 
@@ -27,3 +34,21 @@ __all__ = [
     "BitDecodingConfig",
     "QuantScheme",
 ]
+
+_DEPRECATED_REEXPORTS = ("BitDecoding", "BitKVCache")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_REEXPORTS:
+        warnings.warn(
+            f"importing {name} from repro.core is deprecated: use the "
+            f"AttentionBackend API in repro.attn (ContiguousBitBackend wraps "
+            f"this class), or repro.core.attention.{name} for the internal "
+            "class itself",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import attention
+
+        return getattr(attention, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

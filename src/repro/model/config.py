@@ -92,10 +92,19 @@ QWEN3_14B = ModelConfig(
     name="Qwen3-14B", n_layers=40, hq=40, hkv=8, head_dim=128,
     hidden=5120, intermediate=17408, vocab=151936,
 )
+#: A deliberately minuscule GQA model for the serving engine's real-token
+#: execution mode (``serve-sim --execute``): small enough that running
+#: every resident sequence through TinyTransformer numerics per scheduler
+#: step is cheap in CI, yet it exercises grouped queries, multiple layers
+#: and the paged low-bit cache end to end.
+TINY = ModelConfig(
+    name="tiny", n_layers=2, hq=4, hkv=2, head_dim=16,
+    hidden=64, intermediate=128, vocab=256,
+)
 
 MODEL_REGISTRY: Dict[str, ModelConfig] = {
     m.name.lower(): m
-    for m in (LLAMA2_7B, LLAMA31_8B, LLAMA31_70B, QWEN3_8B, QWEN3_14B)
+    for m in (LLAMA2_7B, LLAMA31_8B, LLAMA31_70B, QWEN3_8B, QWEN3_14B, TINY)
 }
 
 

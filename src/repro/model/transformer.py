@@ -1,22 +1,47 @@
 """A small runnable numpy transformer decoder.
 
 A functional substrate for end-to-end *numerics*: RMSNorm, RoPE, attention
-through any pluggable engine (the BitDecoding engine, or exact FP16
-reference), and a SwiGLU MLP.  Used by the integration tests and the
-LongBench-proxy accuracy suite to push real activations through the real
-quantized-cache code paths — not to reproduce trained-model quality, which
-per DESIGN.md is out of scope for weights we cannot download.
+through any :class:`~repro.attn.protocol.AttentionBackend` (paged or
+contiguous low-bit caches, or the exact FP16 reference when no backend is
+set), and a SwiGLU MLP.  Used by the integration tests, the
+LongBench-proxy accuracy suite and the serving engine's real-execution
+mode (:class:`~repro.attn.runner.ModelRunner`) to push real activations
+through the real quantized-cache code paths — not to reproduce
+trained-model quality, which per DESIGN.md is out of scope for weights we
+cannot download.
+
+Cache state lives in a :class:`CacheSession` (per-layer cache handles +
+the position cursor), so one weight set can serve many concurrent
+sequences: the serving runner holds one session per resident request and
+advances them independently through :meth:`TinyTransformer.prefill_chunk`
+and :meth:`TinyTransformer.decode_step`.  The no-argument methods keep
+operating on a default session, preserving the original single-sequence
+API.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.attention import BitDecoding, BitKVCache
+from repro.attn.contiguous import ContiguousBitBackend
+from repro.attn.protocol import AttentionBackend, KVCacheHandle
+from repro.attn.reference import causal_mask, chunked_causal_attention
+from repro.core.attention import BitDecoding
+
+__all__ = [
+    "CacheSession",
+    "LayerWeights",
+    "TinyTransformer",
+    "apply_rope",
+    "causal_mask",
+    "rms_norm",
+    "rope_angles",
+    "swiglu",
+]
 
 
 def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
@@ -40,21 +65,6 @@ def rope_angles(
 #: Max memoized RoPE tables per model; a decode step plus its prefill
 #: context needs two, the rest is slack for interleaved usage patterns.
 _ROPE_CACHE_ENTRIES = 8
-
-
-def causal_mask(seq: int) -> np.ndarray:
-    """``(seq, seq)`` additive mask: ``-inf`` strictly above the diagonal.
-
-    Built once per attention call and shared by every head — a 32k-token
-    prefill allocates one O(seq^2) mask, not O(heads * seq^2) of them.
-    The fill goes through a boolean upper-triangle (one byte per element
-    of scratch); ``np.triu_indices`` would transiently cost ~2x the mask
-    itself in int64 index arrays at that scale.
-    """
-    mask = np.zeros((seq, seq), dtype=np.float32)
-    rows = np.arange(seq)
-    mask[rows[:, None] < rows[None, :]] = -np.inf
-    return mask
 
 
 def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
@@ -90,13 +100,31 @@ class LayerWeights:
 
 
 @dataclass
-class TinyTransformer:
-    """A decoder-only transformer with a pluggable KV-cache engine.
+class CacheSession:
+    """Per-sequence decode state: one cache handle per layer + the cursor.
 
-    ``engine=None`` runs exact FP16 attention (the accuracy reference);
-    otherwise all attention flows through the BitDecoding engine's
-    quantized cache, exercising prefill packing, residual appends and the
-    Packing-Kernel numerics end to end.
+    ``caches`` holds backend handles (or None per layer until prefill
+    creates them); ``ref_k``/``ref_v`` hold the exact-attention reference
+    context when no backend is set.  Sessions are cheap: all weights stay
+    on the owning :class:`TinyTransformer`.
+    """
+
+    caches: List[Optional[KVCacheHandle]] = field(default_factory=list)
+    ref_k: List[Optional[np.ndarray]] = field(default_factory=list)
+    ref_v: List[Optional[np.ndarray]] = field(default_factory=list)
+    positions: int = 0
+
+
+@dataclass
+class TinyTransformer:
+    """A decoder-only transformer with a pluggable attention backend.
+
+    ``backend=None`` (and ``engine=None``) runs exact FP32 attention (the
+    accuracy reference); otherwise all attention flows through the
+    backend's cache — prefill packing, residual appends and the
+    Packing-Kernel numerics end to end.  ``engine`` is the legacy knob: a
+    :class:`~repro.core.attention.BitDecoding` engine is wrapped into a
+    :class:`~repro.attn.contiguous.ContiguousBitBackend`.
     """
 
     n_layers: int
@@ -106,12 +134,9 @@ class TinyTransformer:
     hidden: int
     intermediate: int
     engine: Optional[BitDecoding] = None
+    backend: Optional[AttentionBackend] = None
     seed: int = 0
     layers: List[LayerWeights] = field(init=False)
-    caches: List[object] = field(init=False, default_factory=list)
-    _ref_k: List[np.ndarray] = field(init=False, default_factory=list)
-    _ref_v: List[np.ndarray] = field(init=False, default_factory=list)
-    _positions: int = field(init=False, default=0)
     _rope_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = field(
         init=False, default_factory=dict
     )
@@ -119,6 +144,9 @@ class TinyTransformer:
     def __post_init__(self) -> None:
         if self.hq * self.head_dim != self.hidden:
             raise ValueError("hq * head_dim must equal hidden")
+        if self.backend is None and self.engine is not None:
+            self.backend = ContiguousBitBackend(self.engine)
+        self._session = self.new_session()
         rng = np.random.default_rng(self.seed)
         scale = 1.0 / math.sqrt(self.hidden)
         kv_dim = self.hkv * self.head_dim
@@ -142,6 +170,39 @@ class TinyTransformer:
         ]
 
     # ------------------------------------------------------------------ plumbing
+
+    @property
+    def caches(self) -> List[Optional[KVCacheHandle]]:
+        """The default session's per-layer cache handles."""
+        return self._session.caches
+
+    def new_session(self, handles: Optional[Sequence[KVCacheHandle]] = None) -> CacheSession:
+        """A fresh decode session, optionally over pre-bound cache handles.
+
+        The serving runner passes per-layer paged handles already adopted
+        into the engine's page table; plain callers let prefill create
+        handles through the backend.
+        """
+        if handles is not None and len(handles) != self.n_layers:
+            raise ValueError(f"expected {self.n_layers} handles, got {len(handles)}")
+        return CacheSession(caches=list(handles) if handles is not None else [])
+
+    def release_session(self, session: CacheSession) -> None:
+        """Free whatever the session's cache handles pin in the backend.
+
+        For the paged backend this returns the sequences' pages and
+        residual slots to the shared pool; contiguous handles have
+        nothing pooled to free.  The session is reset to empty and can be
+        prefilled again.
+        """
+        if self.backend is not None:
+            for handle in session.caches:
+                if handle is not None:
+                    self.backend.release(handle)
+        session.caches = []
+        session.ref_k = []
+        session.ref_v = []
+        session.positions = 0
 
     def _rope(self, pos0: int, seq: int) -> Tuple[np.ndarray, np.ndarray]:
         """RoPE (cos, sin) tables for positions ``pos0 .. pos0 + seq``.
@@ -172,79 +233,98 @@ class TinyTransformer:
         v = v.transpose(0, 2, 1, 3)
         return k, v
 
-    def prefill(self, x: np.ndarray) -> np.ndarray:
-        """Process a prompt ``(batch, seq, hidden)``; builds the caches."""
-        x = np.asarray(x, dtype=np.float32)
-        batch, seq, _ = x.shape
-        self.caches = []
-        self._ref_k, self._ref_v = [], []
-        self._positions = seq
-        h = x
-        for layer in self.layers:
-            normed = rms_norm(h, layer.norm_attn)
-            k, v = self._project_kv(layer, normed, 0)
-            if self.engine is not None:
-                cache = self.engine.prefill(k.astype(np.float16), v.astype(np.float16))
-                self.caches.append(cache)
-            else:
-                self.caches.append(None)
-            self._ref_k.append(k)
-            self._ref_v.append(v)
-            attn = self._attend_prefill(layer, normed, k, v)
-            h = h + attn
-            h = h + swiglu(rms_norm(h, layer.norm_mlp), layer.w_gate, layer.w_up, layer.w_down)
-        return h
-
-    def _attend_prefill(self, layer, normed, k, v) -> np.ndarray:
-        """Causal FP16 prefill attention (prefill is not the paper's focus).
-
-        Vectorized over every (batch, query-head) pair: queries reshape to
-        the grouped-query ``(b, hkv, gq, seq, d)`` layout so one einsum
-        against ``(b, hkv, seq, d)`` K covers MHA, GQA and MQA alike, and
-        the causal mask is built once per call, not once per head.
-        """
+    def _project_q(self, layer: LayerWeights, normed: np.ndarray, pos0: int) -> np.ndarray:
+        """RoPE'd queries ``(batch, seq, hq, d)`` for ``normed`` tokens."""
         batch, seq, _ = normed.shape
         q = (normed @ layer.wq).reshape(batch, seq, self.hq, self.head_dim)
-        cos, sin = self._rope(0, seq)
+        cos, sin = self._rope(pos0, seq)
         q = apply_rope(q.transpose(0, 2, 1, 3), cos, sin)  # (b, hq, seq, d)
-        gq = self.hq // self.hkv
-        qg = q.reshape(batch, self.hkv, gq, seq, self.head_dim)
-        scale = 1.0 / math.sqrt(self.head_dim)
-        s = np.einsum("bhgqd,bhkd->bhgqk", qg, k, optimize=True) * scale
-        s += causal_mask(seq)
-        s -= s.max(axis=-1, keepdims=True)
-        p = np.exp(s)
-        p /= p.sum(axis=-1, keepdims=True)
-        out = np.einsum("bhgqk,bhkd->bhgqd", p, v, optimize=True)
-        out = out.reshape(batch, self.hq, seq, self.head_dim)
-        out = out.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden)
-        return out @ layer.wo
+        return q.transpose(0, 2, 1, 3)
 
-    def decode_step(self, x: np.ndarray) -> np.ndarray:
+    # ------------------------------------------------------------------ forward
+
+    def prefill(self, x: np.ndarray, session: Optional[CacheSession] = None) -> np.ndarray:
+        """Process a prompt ``(batch, seq, hidden)`` into a fresh context.
+
+        Replacing the default session releases the previous one's backend
+        resources first — repeated prefills on a paged backend recycle
+        their pages instead of leaking the shared pool.
+        """
+        if session is None:
+            self.release_session(self._session)
+            session = self._session = self.new_session()
+        if session.positions:
+            raise ValueError(
+                "prefill on a session that already holds context; use "
+                "prefill_chunk to continue it"
+            )
+        return self.prefill_chunk(x, session)
+
+    def prefill_chunk(self, x: np.ndarray, session: CacheSession) -> np.ndarray:
+        """Advance a session by one prefill chunk ``(batch, n, hidden)``.
+
+        Chunk tokens attend the session's cached context unmasked and
+        each other causally — the Sarathi/vLLM chunked-prefill forward.
+        With a backend, context beyond the FP16 residual is read back
+        through the quantized cache (that *is* the numerics of chunked
+        prefill over a low-bit cache); without one, the exact reference
+        context is used.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        batch, n, _ = x.shape
+        sess = session
+        pos0 = sess.positions
+        if not sess.caches:
+            sess.caches = [None] * self.n_layers
+        if not sess.ref_k:
+            sess.ref_k = [None] * self.n_layers
+            sess.ref_v = [None] * self.n_layers
+        h = x
+        for i, layer in enumerate(self.layers):
+            normed = rms_norm(h, layer.norm_attn)
+            k, v = self._project_kv(layer, normed, pos0)
+            q = self._project_q(layer, normed, pos0)
+            if self.backend is not None:
+                if sess.caches[i] is None:
+                    sess.caches[i] = self.backend.new_handle(batch, self.hkv, self.head_dim)
+                attn = self.backend.prefill(q, (k, v), sess.caches[i])
+            else:
+                attn = chunked_causal_attention(q, sess.ref_k[i], sess.ref_v[i], k, v)
+                sess.ref_k[i] = (
+                    k if sess.ref_k[i] is None else np.concatenate([sess.ref_k[i], k], axis=2)
+                )
+                sess.ref_v[i] = (
+                    v if sess.ref_v[i] is None else np.concatenate([sess.ref_v[i], v], axis=2)
+                )
+            attn = attn.reshape(batch, n, self.hidden) @ layer.wo
+            h = h + attn
+            h = h + swiglu(rms_norm(h, layer.norm_mlp), layer.w_gate, layer.w_up, layer.w_down)
+        sess.positions = pos0 + n
+        return h
+
+    def decode_step(self, x: np.ndarray, session: Optional[CacheSession] = None) -> np.ndarray:
         """One decode step for ``x`` of shape (batch, hidden)."""
+        sess = session if session is not None else self._session
         x = np.asarray(x, dtype=np.float32)
         batch = x.shape[0]
-        pos = self._positions
+        pos = sess.positions
         h = x[:, None, :]  # (b, 1, hidden)
         for i, layer in enumerate(self.layers):
             normed = rms_norm(h, layer.norm_attn)
             k_new, v_new = self._project_kv(layer, normed, pos)
-            q = (normed @ layer.wq).reshape(batch, 1, self.hq, self.head_dim)
-            cos, sin = self._rope(pos, 1)
-            q = apply_rope(q.transpose(0, 2, 1, 3), cos, sin).transpose(0, 2, 1, 3)
-
-            if self.engine is not None:
-                cache: BitKVCache = self.caches[i]
-                cache.append_token(k_new[:, :, 0], v_new[:, :, 0])
-                attn = self.engine.decode(q, cache)
+            q = self._project_q(layer, normed, pos)
+            if self.backend is not None:
+                handle = sess.caches[i]
+                self.backend.append_kv((k_new[:, :, 0], v_new[:, :, 0]), handle)
+                attn = self.backend.decode_step(q, handle)
             else:
-                self._ref_k[i] = np.concatenate([self._ref_k[i], k_new], axis=2)
-                self._ref_v[i] = np.concatenate([self._ref_v[i], v_new], axis=2)
-                attn = self._exact_decode(q, self._ref_k[i], self._ref_v[i])
+                sess.ref_k[i] = np.concatenate([sess.ref_k[i], k_new], axis=2)
+                sess.ref_v[i] = np.concatenate([sess.ref_v[i], v_new], axis=2)
+                attn = self._exact_decode(q, sess.ref_k[i], sess.ref_v[i])
             attn = attn.reshape(batch, 1, self.hidden) @ layer.wo
             h = h + attn
             h = h + swiglu(rms_norm(h, layer.norm_mlp), layer.w_gate, layer.w_up, layer.w_down)
-        self._positions += 1
+        sess.positions += 1
         return h[:, 0, :]
 
     def _exact_decode(self, q, k, v) -> np.ndarray:

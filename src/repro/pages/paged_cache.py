@@ -10,32 +10,89 @@ pages the allocator handed out.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.pages.allocator import PageAllocator
 from repro.pages.page_table import PageTable
 
+if TYPE_CHECKING:
+    from repro.model.memory import CacheFormat
+
 
 class PagedKVStore:
-    """Paged physical storage for one layer's FP16 K/V rows.
+    """Paged physical storage for one layer's per-head K/V rows.
 
     Physical memory is two arrays of shape ``(n_pages, page_size, d)``;
     sequences map logical token indices onto (page, offset) slots via the
     shared page table.  Pages freed by finished sequences are recycled, so
     a long-lived store's physical pages interleave across sequences —
     exactly the situation the gather path must get right.
+
+    The page dtype/width is parameterized rather than hard-coded FP16:
+    ``dtype`` picks the numeric row storage (fp16/fp32), and
+    ``bits_per_value`` (optionally plus ``meta_bytes_per_token``) sets the
+    byte accounting of :attr:`physical_nbytes`.  Sub-byte formats have no
+    numpy dtype, so their rows stay numeric in ``dtype`` while the
+    footprint is reported at the format's true width — the honest number
+    the serving comparisons budget with (the *actual* packed words live
+    in :class:`repro.attn.paged.PagedBitKVCache`).  Use
+    :meth:`for_format` to derive both from a
+    :class:`~repro.model.memory.CacheFormat`.
     """
 
-    def __init__(self, n_pages: int, page_size: int, head_dim: int):
+    def __init__(
+        self,
+        n_pages: int,
+        page_size: int,
+        head_dim: int,
+        dtype: np.dtype = np.float16,
+        bits_per_value: Optional[float] = None,
+        meta_bytes_per_token: float = 0.0,
+    ):
         if head_dim <= 0:
             raise ValueError("head_dim must be positive")
+        if meta_bytes_per_token < 0:
+            raise ValueError("meta_bytes_per_token must be non-negative")
         self.allocator = PageAllocator(n_pages)
         self.table = PageTable(self.allocator, page_size=page_size)
         self.head_dim = head_dim
-        self.k_pages = np.zeros((n_pages, page_size, head_dim), dtype=np.float16)
-        self.v_pages = np.zeros((n_pages, page_size, head_dim), dtype=np.float16)
+        self.dtype = np.dtype(dtype)
+        if bits_per_value is None:
+            bits_per_value = self.dtype.itemsize * 8.0
+        if bits_per_value <= 0:
+            raise ValueError("bits_per_value must be positive")
+        self.bits_per_value = float(bits_per_value)
+        self.meta_bytes_per_token = float(meta_bytes_per_token)
+        self.k_pages = np.zeros((n_pages, page_size, head_dim), dtype=self.dtype)
+        self.v_pages = np.zeros((n_pages, page_size, head_dim), dtype=self.dtype)
+
+    @classmethod
+    def for_format(
+        cls,
+        n_pages: int,
+        page_size: int,
+        head_dim: int,
+        fmt: "CacheFormat",
+        heads: int = 1,
+    ) -> "PagedKVStore":
+        """A store whose byte accounting follows a :class:`CacheFormat`.
+
+        ``fmt.meta_bytes_per_token_layer`` spans all ``heads`` KV heads of
+        a layer; this store holds one head's rows, so the per-token meta
+        share is divided out.
+        """
+        if heads <= 0:
+            raise ValueError("heads must be positive")
+        return cls(
+            n_pages,
+            page_size,
+            head_dim,
+            dtype=np.float32 if fmt.bits_per_value > 16 else np.float16,
+            bits_per_value=fmt.bits_per_value,
+            meta_bytes_per_token=fmt.meta_bytes_per_token_layer / heads,
+        )
 
     @property
     def page_size(self) -> int:
@@ -47,8 +104,8 @@ class PagedKVStore:
 
     def append(self, seq_id: int, k_row: np.ndarray, v_row: np.ndarray) -> None:
         """Append one token's K/V rows to a sequence."""
-        k_row = np.asarray(k_row, dtype=np.float16).reshape(self.head_dim)
-        v_row = np.asarray(v_row, dtype=np.float16).reshape(self.head_dim)
+        k_row = np.asarray(k_row, dtype=self.dtype).reshape(self.head_dim)
+        v_row = np.asarray(v_row, dtype=self.dtype).reshape(self.head_dim)
         self.table.append_token(seq_id)
         seq = self.table.sequences[seq_id]
         page, offset = seq.lookup(seq.length - 1)
@@ -63,8 +120,8 @@ class PagedKVStore:
         the paged store off the per-token Python path the vectorized cache
         just removed.
         """
-        k_rows = np.asarray(k_rows, dtype=np.float16).reshape(-1, self.head_dim)
-        v_rows = np.asarray(v_rows, dtype=np.float16).reshape(-1, self.head_dim)
+        k_rows = np.asarray(k_rows, dtype=self.dtype).reshape(-1, self.head_dim)
+        v_rows = np.asarray(v_rows, dtype=self.dtype).reshape(-1, self.head_dim)
         if k_rows.shape != v_rows.shape:
             raise ValueError("K and V row batches must share a shape")
         n = k_rows.shape[0]
@@ -85,8 +142,8 @@ class PagedKVStore:
         """All of a sequence's rows in logical order (the kernel's view)."""
         seq = self.table.sequences[seq_id]
         n = seq.length
-        k = np.empty((n, self.head_dim), dtype=np.float16)
-        v = np.empty((n, self.head_dim), dtype=np.float16)
+        k = np.empty((n, self.head_dim), dtype=self.dtype)
+        v = np.empty((n, self.head_dim), dtype=self.dtype)
         if n == 0:
             return k, v
         pages = np.asarray(seq.pages)
@@ -105,4 +162,18 @@ class PagedKVStore:
 
     @property
     def physical_nbytes(self) -> int:
+        """Bytes the pool occupies *in its cache format* (packed + meta).
+
+        For FP16 this equals the numeric arrays' ``nbytes``; for low-bit
+        formats it is the packed footprint the format would really cost,
+        not the fp16 working arrays' size.
+        """
+        n_pages, page_size, _ = self.k_pages.shape
+        values = 2 * n_pages * page_size * self.head_dim
+        meta = n_pages * page_size * self.meta_bytes_per_token
+        return int(values * self.bits_per_value / 8.0 + meta)
+
+    @property
+    def working_nbytes(self) -> int:
+        """Bytes of the numeric working arrays actually allocated here."""
         return self.k_pages.nbytes + self.v_pages.nbytes

@@ -13,6 +13,11 @@ admission to Sarathi/vLLM-style chunked prefill: prompts advance one token
 quantum per step, batched with resident decode tokens into mixed steps, so
 a 32k-token prompt no longer head-of-line blocks every in-flight decode.
 
+With ``EngineConfig(execute=True)`` (CLI: ``serve-sim --execute``) the
+engine additionally runs real tokens through TinyTransformer + the paged
+low-bit cache each step — the scheduler's pages are the pages the
+numerics read; see :mod:`repro.attn`.
+
 Quickstart::
 
     from repro.gpu.arch import get_arch

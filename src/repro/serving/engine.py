@@ -27,12 +27,24 @@ Mechanics (the vLLM/QServe-style loop, one simulation step at a time):
   releases exactly the pages it had reserved so far, and requeues it at
   the front of the wait queue (recompute-style: its generated-token count
   is kept, its KV is rebuilt on re-admission).
-- **Step timing** comes from the existing end-to-end latency model
-  (:func:`repro.model.inference.decode_step_ms` /
-  :func:`repro.model.inference.mixed_step_ms`) with whichever duck-typed
-  attention system matches the cache format, so FP16 vs INT4 vs INT2 runs
-  differ exactly where the paper says they do: page-pool capacity and
-  attention kernel time.
+- **Step timing** goes through the
+  :class:`~repro.attn.protocol.AttentionBackend` protocol: a bare
+  attention system is wrapped into an
+  :class:`~repro.attn.analytical.AnalyticalBackend` (the end-to-end
+  latency model, demoted to one implementation among three), so FP16 vs
+  INT4 vs INT2 runs differ exactly where the paper says they do:
+  page-pool capacity and attention kernel time.
+- **Real execution** (``EngineConfig.execute``): with a
+  :class:`~repro.attn.paged.PagedBitBackend`, every scheduler step also
+  runs its tokens through a :class:`~repro.attn.runner.ModelRunner` —
+  TinyTransformer layers over per-layer paged pools indexed by *this
+  engine's page table*.  Admission reserves the pages the prefill
+  numerics fill, chunked prefill writes packed blocks page by page, and
+  preemption frees pages that really hold the victim's quantized KV.
+  The clock is still the analytical one (same backend pricing), so the
+  executed schedule is byte-for-byte the analytical schedule, with
+  ``ServingReport.executed_tokens`` proving every generated token was
+  actually computed.
 
 The page pool is sized from the *same* byte accounting the static model
 uses (:func:`repro.model.memory.page_pool_size`), which is what makes
@@ -49,14 +61,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, Tuple
 
+from repro.attn.analytical import AnalyticalBackend
+from repro.attn.protocol import AttentionBackend
 from repro.gpu.arch import ArchSpec
 from repro.model.config import ModelConfig
-from repro.model.inference import (
-    AttentionSystem,
-    decode_step_ms,
-    mixed_step_ms,
-    prefill_time_ms,
-)
+from repro.model.inference import AttentionSystem
 from repro.model.memory import CacheFormat, page_pool_size
 from repro.model.serving import ServingOOMError
 from repro.pages.allocator import OutOfPagesError, PageAllocator
@@ -75,12 +84,28 @@ __all__ = [
 
 @dataclass
 class EngineConfig:
-    """Knobs of one simulation run."""
+    """Knobs of one simulation run.
+
+    Exactly one of ``attention`` / ``backend`` selects the attention
+    implementation: a bare :class:`AttentionSystem` is wrapped into an
+    :class:`~repro.attn.analytical.AnalyticalBackend` (pure step
+    pricing), while an :class:`~repro.attn.protocol.AttentionBackend`
+    prices steps through the protocol and — with ``execute=True`` and a
+    token-executing backend — also runs real tokens through a
+    :class:`~repro.attn.runner.ModelRunner` sharing the engine's page
+    table (``page_size`` must then equal the backend's residual block
+    size ``N_r``, so one scheduler page is one packed block).
+    """
 
     model: ModelConfig
     arch: ArchSpec
     fmt: CacheFormat
-    attention: AttentionSystem
+    attention: Optional[AttentionSystem] = None
+    backend: Optional[AttentionBackend] = None
+    #: Run real tokens through the numeric backend each scheduler step.
+    execute: bool = False
+    #: Seed of the runner's synthesized per-request input programs.
+    execute_seed: int = 0
     page_size: int = 64
     #: Physical pages in the pool; None derives it from the device memory
     #: left after weights and residual buffers (the shared code path with
@@ -105,6 +130,39 @@ class EngineConfig:
             raise ValueError("n_gpus must be positive")
         if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens <= 0:
             raise ValueError("prefill_chunk_tokens must be positive (or None)")
+        if self.attention is None and self.backend is None:
+            raise ValueError("provide an attention system or an AttentionBackend")
+        if self.attention is not None and self.backend is not None:
+            raise ValueError(
+                "provide either an attention system or an AttentionBackend, "
+                "not both: the backend would silently win the step pricing"
+            )
+        if self.execute:
+            if self.backend is None or not self.backend.executes_tokens:
+                raise ValueError(
+                    "execute=True needs a token-executing AttentionBackend "
+                    "(e.g. PagedBitBackend); the analytical backend only "
+                    "prices steps"
+                )
+            from repro.attn.paged import PagedBitBackend
+
+            if not isinstance(self.backend, PagedBitBackend):
+                raise ValueError(
+                    "execute=True shares the scheduler's page table with the "
+                    "numerics, which only the paged-bit backend supports"
+                )
+            if self.n_pages is None:
+                raise ValueError(
+                    "execute=True needs an explicit n_pages: the runner "
+                    "allocates real per-layer pools for every page, so a "
+                    "device-memory-derived pool would be enormous"
+                )
+
+    def resolve_backend(self) -> AttentionBackend:
+        """The backend the engine schedules with (wrapping ``attention``)."""
+        if self.backend is not None:
+            return self.backend
+        return AnalyticalBackend(self.attention)
 
 
 class ContinuousBatchingEngine:
@@ -130,6 +188,21 @@ class ContinuousBatchingEngine:
         self.n_pages = n_pages
         self.allocator = PageAllocator(n_pages)
         self.table = PageTable(self.allocator, page_size=config.page_size)
+        self.backend = config.resolve_backend()
+        self._runner = None
+        if config.execute:
+            from repro.attn.runner import ModelRunner
+
+            # The runner's per-layer pools are indexed by this table's page
+            # ids: admission, chunked prefill and preemption manipulate the
+            # same pages the numerics read.
+            self._runner = ModelRunner(
+                config.model,
+                self.backend,
+                self.table,
+                n_slots=config.max_batch,
+                seed=config.execute_seed,
+            )
         self.lifecycles: List[RequestLifecycle] = [
             RequestLifecycle(r)
             for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
@@ -176,11 +249,14 @@ class ContinuousBatchingEngine:
             if head.admitted_s is None:
                 head.admitted_s = self._clock
             self._clock += (
-                prefill_time_ms(cfg.model, cfg.arch, head.context_len, cfg.n_gpus)
+                self.backend.prefill_time_ms(cfg.model, cfg.arch, head.context_len, cfg.n_gpus)
                 * 1e-3
             )
             self._prefill_steps += 1
             self._running.append(head)
+            if self._runner is not None:
+                self._runner.on_admit(head)
+                self._runner.prefill(head, head.context_len)
         self._peak_resident = max(self._peak_resident, len(self._running))
 
     def _admit_chunked(self) -> None:
@@ -213,6 +289,8 @@ class ContinuousBatchingEngine:
                 head.admitted_s = self._clock
             self._running.append(head)
             committed += need
+            if self._runner is not None:
+                self._runner.on_admit(head)
         self._peak_resident = max(self._peak_resident, len(self._running))
 
     def _preempt(self, victim: RequestLifecycle) -> None:
@@ -223,6 +301,8 @@ class ContinuousBatchingEngine:
         releasing the sequence frees precisely that reservation.
         """
         assert victim.seq_id is not None
+        if self._runner is not None:
+            self._runner.on_preempt(victim)
         self.table.release_sequence(victim.seq_id)
         victim.seq_id = None
         victim.prefilled = 0
@@ -283,6 +363,8 @@ class ContinuousBatchingEngine:
             chunks.append((lc.prefilled, take))
             lc.prefilled += take
             budget -= take
+            if self._runner is not None:
+                self._runner.prefill(lc, take)
         return chunks
 
     def _emit_tokens(self, decoders: Sequence[RequestLifecycle]) -> None:
@@ -298,6 +380,8 @@ class ContinuousBatchingEngine:
                 self._tbt_samples.append(self._clock - lc.last_token_s)
             lc.last_token_s = self._clock
             if lc.generated >= lc.request.output_len:
+                if self._runner is not None:
+                    self._runner.on_finish(lc)
                 self.table.release_sequence(lc.seq_id)
                 lc.seq_id = None
                 lc.finish_s = self._clock
@@ -312,10 +396,14 @@ class ContinuousBatchingEngine:
             self._grow(lc)
         if not self._running:
             return
+        if self._runner is not None:
+            for lc in self._running:
+                if lc.seq_id is not None:
+                    self._runner.decode(lc)
         batch = len(self._running)
         seq_len = max(lc.context_len + 1 for lc in self._running)
         step_s = (
-            decode_step_ms(cfg.model, cfg.arch, cfg.attention, batch, seq_len, cfg.n_gpus)
+            self.backend.decode_step_ms(cfg.model, cfg.arch, batch, seq_len, cfg.n_gpus)
             * 1e-3
         )
         self._clock += step_s
@@ -340,10 +428,13 @@ class ContinuousBatchingEngine:
         decoders = [lc for lc in decode_ready if lc.seq_id is not None]
         if not chunks and not decoders:
             return
+        if self._runner is not None:
+            for lc in decoders:
+                self._runner.decode(lc)
         batch = len(decoders)
         seq_len = max((lc.context_len + 1 for lc in decoders), default=0)
         step_s = (
-            mixed_step_ms(cfg.model, cfg.arch, cfg.attention, batch, seq_len, chunks, cfg.n_gpus)
+            self.backend.mixed_step_ms(cfg.model, cfg.arch, batch, seq_len, chunks, cfg.n_gpus)
             * 1e-3
         )
         self._clock += step_s
@@ -422,6 +513,7 @@ class ContinuousBatchingEngine:
             tbts_s=self._tbt_samples,
             mixed_steps=self._mixed_steps,
             prefill_chunk_tokens=self.config.prefill_chunk_tokens,
+            executed_tokens=(self._runner.executed_tokens if self._runner is not None else None),
         )
 
 

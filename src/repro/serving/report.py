@@ -57,6 +57,10 @@ class ServingReport:
     #: p99 can miss a handful of giant whole-prompt stalls when decodes
     #: outnumber admissions 100:1; the max never does.
     max_tbt_s: Optional[float]
+    #: Tokens actually run through the numeric model (execute mode); None
+    #: for purely analytical runs.  Must equal ``total_generated_tokens``
+    #: when set — the scheduler and the model runner advance in lock-step.
+    executed_tokens: Optional[int] = None
 
     @classmethod
     def build(
@@ -77,6 +81,7 @@ class ServingReport:
         tbts_s: List[float],
         mixed_steps: int = 0,
         prefill_chunk_tokens: Optional[int] = None,
+        executed_tokens: Optional[int] = None,
     ) -> "ServingReport":
         sustained = total_generated_tokens / sim_time_s if sim_time_s > 0 else 0.0
         return cls(
@@ -102,6 +107,7 @@ class ServingReport:
             p50_tbt_s=_percentile(tbts_s, 50.0),
             p99_tbt_s=_percentile(tbts_s, 99.0),
             max_tbt_s=max(tbts_s) if tbts_s else None,
+            executed_tokens=executed_tokens,
         )
 
     def to_dict(self) -> dict:

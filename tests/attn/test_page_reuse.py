@@ -1,0 +1,122 @@
+"""Page recycling must never leak stale packed words between sequences.
+
+The paged pool hands preempted sequences' pages straight back to the
+allocator; a recycled page still physically holds the victim's packed
+words until the next flush overwrites it.  The invariant under test:
+whatever admit/preempt/resume schedule ran before, every *live*
+sequence's reconstruction (packed dequant + residual) is bit-identical
+to a fresh pool fed only that sequence's rows — i.e. block tables never
+alias and recycled pages never bleed through.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attn.paged import PagedBitKVCache
+from repro.core.config import BitDecodingConfig
+
+CONFIG = BitDecodingConfig(bits=4, wn=1)  # N_r = 32
+NR = CONFIG.residual_block_size
+HKV, D = 2, 16
+N_PAGES = 12
+N_SLOTS = 4
+
+
+def _rows(rng, n):
+    k = rng.standard_normal((HKV, n, D)).astype(np.float16)
+    v = rng.standard_normal((HKV, n, D)).astype(np.float16)
+    return k, v
+
+
+def _reference_reconstruction(k_rows, v_rows):
+    """A fresh single-sequence pool fed the same rows, end to end."""
+    store = PagedBitKVCache(CONFIG, HKV, D, n_pages=N_PAGES, n_slots=1)
+    handle = store.add_sequence()
+    n = k_rows.shape[1]
+    if n:
+        store.reserve(handle, n)
+        store.write_rows(handle, k_rows, v_rows)
+    return handle.dequant_kv(), handle.residual_kv()
+
+
+# One op per draw: (kind, amount). "write" appends `amount` tokens to a
+# round-robin live sequence, "admit" starts a new one, "preempt" releases
+# the oldest live one (recycling its pages for whoever comes next).
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["admit", "write", "preempt"]),
+        st.integers(min_value=1, max_value=NR + NR // 2),
+    ),
+    min_size=4,
+    max_size=14,
+)
+
+
+class TestPageRecycling:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=_OPS, seed=st.integers(min_value=0, max_value=2**16))
+    def test_live_sequences_never_see_stale_words(self, ops, seed):
+        rng = np.random.default_rng(seed)
+        store = PagedBitKVCache(CONFIG, HKV, D, n_pages=N_PAGES, n_slots=N_SLOTS)
+        live = []  # (handle, k_rows, v_rows) with rows the ground truth
+
+        for kind, amount in ops:
+            if kind == "admit" and len(live) < N_SLOTS:
+                live.append(
+                    (store.add_sequence(), np.zeros((HKV, 0, D), np.float16),
+                     np.zeros((HKV, 0, D), np.float16))
+                )
+            elif kind == "write" and live:
+                idx = amount % len(live)
+                handle, k_all, v_all = live[idx]
+                free_tokens = store.table.allocator.free_pages * NR
+                pad = handle.seq_len % NR
+                take = min(amount, free_tokens + (NR - pad) % NR)
+                if take == 0:
+                    continue
+                k_new, v_new = _rows(rng, take)
+                store.reserve(handle, take)
+                store.write_rows(handle, k_new, v_new)
+                live[idx] = (
+                    handle,
+                    np.concatenate([k_all, k_new], axis=1),
+                    np.concatenate([v_all, v_new], axis=1),
+                )
+            elif kind == "preempt" and live:
+                handle, _, _ = live.pop(0)
+                store.release(handle)  # pages go straight back to the pool
+
+        for handle, k_all, v_all in live:
+            (k_hat, v_hat), (k_res, v_res) = (
+                handle.dequant_kv(),
+                handle.residual_kv(),
+            )
+            (k_ref, v_ref), (k_res_ref, v_res_ref) = _reference_reconstruction(k_all, v_all)
+            np.testing.assert_array_equal(k_hat, k_ref)
+            np.testing.assert_array_equal(v_hat, v_ref)
+            np.testing.assert_array_equal(k_res, k_res_ref)
+            np.testing.assert_array_equal(v_res, v_res_ref)
+
+    def test_resumed_sequence_overwrites_recycled_pages(self, rng):
+        """Deterministic regression: preempt, re-admit with different rows,
+        and check both the recycled page content and the residual slot."""
+        store = PagedBitKVCache(CONFIG, HKV, D, n_pages=4, n_slots=2)
+        first = store.add_sequence()
+        k1, v1 = _rows(rng, NR + 3)
+        store.reserve(first, NR + 3)
+        store.write_rows(first, k1, v1)
+        pages_before = list(store.table.sequences[first.seq_id].pages)
+        store.release(first)
+
+        second = store.add_sequence()
+        k2, v2 = _rows(rng, NR + 3)
+        store.reserve(second, NR + 3)
+        store.write_rows(second, k2, v2)
+        assert set(second.block_ids) & set(pages_before)
+
+        (k_ref, v_ref), (kr_ref, vr_ref) = _reference_reconstruction(k2, v2)
+        np.testing.assert_array_equal(second.dequant_kv()[0], k_ref)
+        np.testing.assert_array_equal(second.dequant_kv()[1], v_ref)
+        np.testing.assert_array_equal(second.residual_kv()[0], kr_ref)
+        np.testing.assert_array_equal(second.residual_kv()[1], vr_ref)

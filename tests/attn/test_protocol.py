@@ -1,0 +1,118 @@
+"""The AttentionBackend protocol: registry, surfaces, deprecation shims."""
+
+import numpy as np
+import pytest
+
+from repro.attn import (
+    AnalyticalBackend,
+    ContiguousBitBackend,
+    PagedBitBackend,
+    backend_names,
+    get_backend,
+)
+from repro.core.config import BitDecodingConfig
+
+
+class TestRegistry:
+    def test_all_three_backends_registered(self):
+        assert set(backend_names()) >= {"analytical", "contiguous-bit", "paged-bit"}
+
+    def test_get_backend_constructs(self):
+        backend = get_backend("contiguous-bit", engine=BitDecodingConfig(bits=2))
+        assert isinstance(backend, ContiguousBitBackend)
+        assert backend.config.bits == 2
+
+    def test_unknown_backend_lists_known(self):
+        with pytest.raises(KeyError, match="paged-bit"):
+            get_backend("flash-attention-9")
+
+
+class TestAnalyticalBackend:
+    def test_prices_steps_like_the_raw_functions(self, a100):
+        from repro.core.attention import BitDecoding
+        from repro.model.config import LLAMA31_8B
+        from repro.model.inference import decode_step_ms, mixed_step_ms, prefill_time_ms
+
+        kernel = BitDecoding(BitDecodingConfig(bits=4), a100)
+        backend = AnalyticalBackend(kernel)
+        assert backend.decode_step_ms(LLAMA31_8B, a100, 4, 4096) == decode_step_ms(
+            LLAMA31_8B, a100, kernel, 4, 4096
+        )
+        assert backend.mixed_step_ms(
+            LLAMA31_8B, a100, 4, 4096, [(0, 512)]
+        ) == mixed_step_ms(LLAMA31_8B, a100, kernel, 4, 4096, [(0, 512)])
+        assert backend.prefill_time_ms(LLAMA31_8B, a100, 4096) == prefill_time_ms(
+            LLAMA31_8B, a100, 4096
+        )
+
+    def test_refuses_tokens(self, a100):
+        from repro.core.attention import BitDecoding
+
+        backend = AnalyticalBackend(BitDecoding(BitDecodingConfig(bits=4), a100))
+        assert not backend.executes_tokens
+        with pytest.raises(NotImplementedError):
+            backend.new_handle(1, 2, 16)
+        with pytest.raises(NotImplementedError):
+            backend.decode_step(np.zeros((1, 1, 4, 16), np.float32), None)
+
+    def test_needs_an_attention_system(self):
+        with pytest.raises(TypeError):
+            AnalyticalBackend(object())
+
+
+class TestHandles:
+    def test_contiguous_handle_tracks_seq_len(self, rng):
+        backend = ContiguousBitBackend(BitDecodingConfig(bits=4, wn=1))
+        handle = backend.new_handle(1, 2, 16)
+        assert handle.seq_len == 0
+        k = rng.standard_normal((1, 2, 10, 16)).astype(np.float16)
+        backend.prefill(None, (k, k), handle)
+        assert handle.seq_len == 10
+        backend.append_kv(
+            (np.zeros((1, 2, 16), np.float32), np.zeros((1, 2, 16), np.float32)), handle
+        )
+        assert handle.seq_len == 11
+
+    def test_contiguous_rejects_chunked_continuation(self, rng):
+        backend = ContiguousBitBackend(BitDecodingConfig(bits=4, wn=1))
+        handle = backend.new_handle(1, 2, 16)
+        k = rng.standard_normal((1, 2, 8, 16)).astype(np.float16)
+        backend.prefill(None, (k, k), handle)
+        with pytest.raises(NotImplementedError):
+            backend.prefill(None, (k, k), handle)
+
+    def test_paged_handle_block_tables_grow_with_flushes(self, rng):
+        config = BitDecodingConfig(bits=4, wn=1)  # N_r = 32
+        backend = PagedBitBackend(config, n_pages=16)
+        handle = backend.new_handle(1, 2, 16)
+        seqh = handle.seqs[0]
+        k = rng.standard_normal((1, 2, 70, 16)).astype(np.float16)
+        backend.prefill(None, (k, k), handle)
+        assert seqh.seq_len == 70
+        assert seqh.n_blocks == 2 and seqh.res_len == 6
+        assert len(seqh.block_ids) == 2
+        # Pages back the packed part through the shared allocator.
+        assert handle.store.table.allocator.used_pages == 3  # ceil(70/32)
+
+
+class TestDeprecationShims:
+    def test_repro_core_bitdecoding_warns(self):
+        import repro.core
+
+        with pytest.warns(DeprecationWarning, match="repro.attn"):
+            repro.core.BitDecoding
+        with pytest.warns(DeprecationWarning):
+            repro.core.BitKVCache
+
+    def test_shim_resolves_the_real_class(self):
+        import repro.core
+        from repro.core.attention import BitDecoding
+
+        with pytest.warns(DeprecationWarning):
+            assert repro.core.BitDecoding is BitDecoding
+
+    def test_unknown_core_attribute_still_raises(self):
+        import repro.core
+
+        with pytest.raises(AttributeError):
+            repro.core.NoSuchThing

@@ -7,6 +7,7 @@ from repro.model.config import (
     LLAMA31_8B,
     LLAMA31_70B,
     MODEL_REGISTRY,
+    TINY,
     ModelConfig,
     QWEN3_14B,
     QWEN3_8B,
@@ -15,11 +16,16 @@ from repro.model.config import (
 
 
 class TestRegistry:
-    def test_all_five_models(self):
-        assert len(MODEL_REGISTRY) == 5
+    def test_all_models_registered(self):
+        # The paper's five evaluated LLMs plus the tiny execution model.
+        assert len(MODEL_REGISTRY) == 6
 
     def test_lookup(self):
         assert get_model("LLaMA-3.1-8B") is LLAMA31_8B
+
+    def test_tiny_model_for_execution(self):
+        assert get_model("tiny") is TINY
+        assert TINY.attention_variant == "GQA"
 
     def test_unknown_model(self):
         with pytest.raises(KeyError):

@@ -108,12 +108,15 @@ class TestVectorizedAttention:
 
     @pytest.mark.parametrize("hq,hkv", [(4, 2), (4, 4), (4, 1)])
     def test_prefill_attention_matches_per_head_loop(self, rng, hq, hkv):
+        from repro.attn.reference import chunked_causal_attention
+
         dims = dict(n_layers=1, hq=hq, hkv=hkv, head_dim=16, hidden=64, intermediate=64)
         model = TinyTransformer(**dims, engine=None, seed=1)
         layer = model.layers[0]
         normed = rng.standard_normal((2, 12, 64)).astype(np.float32)
         k, v = model._project_kv(layer, normed, 0)
-        out = model._attend_prefill(layer, normed, k, v)
+        qr = model._project_q(layer, normed, 0)
+        out = chunked_causal_attention(qr, None, None, k, v).reshape(2, 12, 64) @ layer.wo
 
         # Per-head loop reference (the pre-vectorization implementation).
         seq = normed.shape[1]

@@ -112,3 +112,54 @@ class TestPagedProperty:
         for sid, rows in expected:
             k, _ = store.gather(sid)
             np.testing.assert_array_equal(k, rows)
+
+
+class TestFormatParameterization:
+    """Page dtype/width follow the cache format, not a hard-coded FP16."""
+
+    def test_default_stays_fp16(self):
+        store = PagedKVStore(8, 16, 32)
+        assert store.dtype == np.float16
+        assert store.bits_per_value == 16.0
+        assert store.physical_nbytes == store.working_nbytes
+
+    def test_low_bit_format_reports_packed_footprint(self):
+        from repro.model.config import LLAMA31_8B
+        from repro.model.memory import int_format
+
+        fmt = int_format(4, LLAMA31_8B)
+        store = PagedKVStore.for_format(8, 16, 32, fmt, heads=LLAMA31_8B.hkv)
+        # 2 tensors * 8 pages * 16 tokens * 32 dims * 4 bits / 8 + meta.
+        values = 2 * 8 * 16 * 32
+        meta = 8 * 16 * fmt.meta_bytes_per_token_layer / LLAMA31_8B.hkv
+        assert store.physical_nbytes == int(values * 4 / 8.0 + meta)
+        # The numeric rows still live in fp16 working arrays (4-bit has no
+        # numpy dtype); the honest number is the format's, not the array's.
+        assert store.working_nbytes == values * 2
+        assert store.physical_nbytes < store.working_nbytes
+
+    def test_fp32_format_widens_the_working_dtype(self):
+        from repro.model.memory import CacheFormat
+
+        fmt = CacheFormat(name="FP32", bits_per_value=32.0)
+        store = PagedKVStore.for_format(4, 8, 16, fmt)
+        assert store.dtype == np.float32
+        assert store.physical_nbytes == store.working_nbytes
+
+    def test_round_trip_unaffected_by_accounting(self, rng):
+        from repro.model.config import LLAMA31_8B
+        from repro.model.memory import int_format
+
+        store = PagedKVStore.for_format(8, 4, 8, int_format(2, LLAMA31_8B), heads=8)
+        sid = store.add_sequence()
+        rows = rng.standard_normal((9, 8)).astype(np.float16)
+        store.append_rows(sid, rows, -rows)
+        k, v = store.gather(sid)
+        np.testing.assert_array_equal(k, rows)
+        np.testing.assert_array_equal(v, -rows)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PagedKVStore(4, 4, 8, bits_per_value=0)
+        with pytest.raises(ValueError):
+            PagedKVStore(4, 4, 8, meta_bytes_per_token=-1.0)

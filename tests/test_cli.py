@@ -83,3 +83,31 @@ class TestCli:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServeSimExecute:
+    _ARGS = [
+        "serve-sim", "--model", "tiny", "--execute",
+        "--requests", "4", "--rate", "100",
+        "--prompt-len", "40", "--output-len", "6",
+        "--pages", "64", "--max-batch", "4", "--steps", "120",
+    ]
+
+    def test_execute_reports_matching_schedule(self, capsys):
+        main(self._ARGS)
+        out = capsys.readouterr().out
+        assert "token counts match the analytical schedule: True" in out
+        assert "executed" in out and "analytical" in out
+
+    def test_execute_json_carries_both_reports(self, capsys):
+        import json
+
+        main(self._ARGS + ["--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "execute"
+        assert payload["schedule_match"] is True
+        executed = payload["reports"]["executed"]
+        analytical = payload["reports"]["analytical"]
+        assert executed["executed_tokens"] == executed["total_generated_tokens"]
+        assert analytical["executed_tokens"] is None
+        assert executed["total_generated_tokens"] == analytical["total_generated_tokens"]
