@@ -10,7 +10,8 @@ Run:  python examples/accuracy_tradeoff.py
 
 import numpy as np
 
-from repro import BitDecoding, BitDecodingConfig, get_arch
+from repro import BitDecodingConfig, get_arch
+from repro.core.attention import BitDecoding
 from repro.core.quantization import QuantScheme, dequantize, quantize_key
 from repro.model import LLAMA31_8B, int_format, max_throughput_tokens_per_s
 from repro.model.longbench import TaskConfig, run_suite

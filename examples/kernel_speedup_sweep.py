@@ -8,9 +8,10 @@ kernel path automatically (v2 / v3 / native FP4).
 Run:  python examples/kernel_speedup_sweep.py
 """
 
-from repro import AttentionGeometry, BitDecoding, BitDecodingConfig, get_arch
+from repro import AttentionGeometry, BitDecodingConfig, get_arch
 from repro.baselines import FlashDecodingV2
 from repro.core.arch_support import resolve_version
+from repro.core.attention import BitDecoding
 from repro.gpu.arch import GPU_REGISTRY
 
 SEQS = (8192, 32768, 131072)

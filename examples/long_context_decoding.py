@@ -8,8 +8,9 @@ traffic, which dominates the step once the context dwarfs the weights.
 Run:  python examples/long_context_decoding.py
 """
 
-from repro import BitDecoding, BitDecodingConfig, get_arch
+from repro import BitDecodingConfig, get_arch
 from repro.baselines import FlashDecodingV2, Kivi
+from repro.core.attention import BitDecoding
 from repro.model import LLAMA31_8B, decode_step_breakdown
 
 CONTEXTS = (8192, 32768, 65536, 131072)

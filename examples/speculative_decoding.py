@@ -12,7 +12,8 @@ Run:  python examples/speculative_decoding.py
 
 import numpy as np
 
-from repro import AttentionGeometry, BitDecoding, BitDecodingConfig, get_arch
+from repro import AttentionGeometry, BitDecodingConfig, get_arch
+from repro.core.attention import BitDecoding
 from repro.core.softmax import reference_attention
 
 

@@ -25,12 +25,20 @@ runner hardware where absolute milliseconds are not; drift against the
 baseline's recorded speedups (and the ungated transformer step time) is
 reported, not gated.
 
+When the current file carries a ``prefix_cache`` section (see
+``benchmarks/bench_prefix_cache.py``) it is gated too: the hit rate on
+the seeded shared-prefix trace must stay at or above ``--min-hit-rate``
+(default 0.25, baseline ``prefix_cache.floors`` may override) and
+cache-on throughput must never fall below cache-off.  A baseline that
+records the section makes it mandatory in the current results.
+
 Exit status is non-zero on any gated regression, which is what CI's
 ``bench`` job gates on.  When a throughput change is intentional, refresh
 the baseline::
 
     python benchmarks/bench_serving_engine.py --fast --prefill-chunk 512 \\
         --out benchmarks/baseline.json
+    python benchmarks/bench_prefix_cache.py --fast --out benchmarks/baseline.json
 """
 
 from __future__ import annotations
@@ -45,6 +53,8 @@ DEFAULT_MIN_SPEEDUP = 25.0
 #: Prefill quantize+pack floor, introduced with the chunked fused flush.
 DEFAULT_MIN_PREFILL_SPEEDUP = 3.0
 DEFAULT_MAX_FLATNESS = 2.0
+#: Prefix-cache hit-rate floor on the half-shared benchmark trace.
+DEFAULT_MIN_HIT_RATE = 0.25
 
 
 def _pct(current: float | None, base: float | None) -> str:
@@ -148,6 +158,54 @@ def compare_kernels(
     return failures
 
 
+def compare_prefix(
+    prefix: dict,
+    baseline_prefix: dict | None = None,
+    min_hit_rate: float | None = None,
+) -> list[str]:
+    """Gate the prefix-cache serving point (empty list = pass).
+
+    The trace is seeded and half of every prompt is a family-shared
+    prefix, so the hit rate is deterministic: dropping below the floor
+    means admission stopped probing, keys stopped matching, or eviction
+    got too eager.  Cache-on throughput must also never fall below
+    cache-off — hits only ever remove prefill work.  The floor resolves
+    as: explicit argument > the baseline's ``prefix_cache.floors`` entry
+    > the module default.
+    """
+    floors = (baseline_prefix or {}).get("floors", {})
+    if min_hit_rate is None:
+        min_hit_rate = floors.get("min_hit_rate", DEFAULT_MIN_HIT_RATE)
+
+    failures: list[str] = []
+    hit_rate = prefix.get("hit_rate")
+    on = prefix.get("tokens_per_s_on")
+    off = prefix.get("tokens_per_s_off")
+    base = baseline_prefix or {}
+    hit_s = "n/a" if hit_rate is None else f"{hit_rate:.3f}"
+    on_s = "n/a" if on is None else f"{on:.1f}"
+    off_s = "n/a" if off is None else f"{off:.1f}"
+    print(
+        f"prefix cache: hit rate {hit_s} "
+        f"(floor {min_hit_rate:.2f}, baseline {_pct(hit_rate, base.get('hit_rate'))}), "
+        f"{on_s} tok/s on vs {off_s} off "
+        f"({_pct(on, base.get('tokens_per_s_on'))} vs baseline), "
+        f"effective capacity {prefix.get('effective_capacity_pages', 'n/a')} pages "
+        "[capacity reported, not gated]"
+    )
+    if hit_rate is None or hit_rate < min_hit_rate:
+        failures.append(
+            f"prefix cache: hit rate {hit_s} fell below the floor "
+            f"{min_hit_rate:.2f} on the shared-prefix trace"
+        )
+    if on is None or off is None or on < off:
+        failures.append(
+            f"prefix cache: cache-on throughput ({on_s} tok/s) fell below "
+            f"cache-off ({off_s} tok/s); hits must only remove prefill work"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_serving.json")
@@ -184,12 +242,27 @@ def main(argv: list[str] | None = None) -> int:
         help="max steady-step max/min wall-time ratio "
         f"(default: baseline floors, else {DEFAULT_MAX_FLATNESS})",
     )
+    parser.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        help="min prefix-cache hit rate on the shared-prefix trace "
+        f"(default: baseline floors, else {DEFAULT_MIN_HIT_RATE})",
+    )
     args = parser.parse_args(argv)
     with open(args.current) as fh:
         current = json.load(fh)
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     failures = compare(current, baseline, args.threshold)
+    if current.get("prefix_cache"):
+        failures += compare_prefix(
+            current["prefix_cache"],
+            baseline.get("prefix_cache"),
+            min_hit_rate=args.min_hit_rate,
+        )
+    elif baseline.get("prefix_cache"):
+        failures.append("prefix cache: missing from current results")
     if args.kernels:
         with open(args.kernels) as fh:
             kernels = json.load(fh)

@@ -38,6 +38,7 @@ FORMAT_TARGETS = [
     "tests/pages",
     "tests/serving",
     "benchmarks/bench_kernel_hotpath.py",
+    "benchmarks/bench_prefix_cache.py",
     "benchmarks/bench_serving_engine.py",
 ]
 

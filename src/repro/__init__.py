@@ -22,8 +22,12 @@ low-bit (bit-exact reference) and analytical (cost model):
     out = backend.decode_step(q, cache)
 
 The lower-level ``BitDecoding`` engine / ``BitKVCache`` pair remains
-available for kernel-granular work (simulated launches, ablations).
+available for kernel-granular work (simulated launches, ablations) from
+:mod:`repro.core.attention`; the top-level re-exports are deprecated
+shims slated for removal in repro 0.4.
 """
+
+import warnings
 
 from repro.attn import (
     AnalyticalBackend,
@@ -33,12 +37,28 @@ from repro.attn import (
     PagedBitBackend,
     get_backend,
 )
-from repro.core.attention import BitDecoding, BitKVCache
 from repro.core.config import AttentionGeometry, BitDecodingConfig
 from repro.core.quantization import QuantScheme
 from repro.gpu import ArchSpec, get_arch
 
 __version__ = "0.2.0"
+
+_DEPRECATED_REEXPORTS = ("BitDecoding", "BitKVCache")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_REEXPORTS:
+        warnings.warn(
+            f"importing {name} from repro is deprecated and will be removed "
+            f"in repro 0.4: use the AttentionBackend API in repro.attn, or "
+            f"repro.core.attention.{name} for the internal class itself",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import attention
+
+        return getattr(attention, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
     "AnalyticalBackend",

@@ -8,6 +8,7 @@ Usage::
     python -m repro experiment fig10        # run one paper experiment
     python -m repro serve-sim [--steps 50]  # continuous-batching simulation
     python -m repro serve-sim --model tiny --execute  # real token execution
+    python -m repro serve-sim --prefix-cache --shared-prefix 0.5  # prefix caching
 """
 
 from __future__ import annotations
@@ -37,7 +38,8 @@ def _cmd_devices() -> None:
 
 
 def _cmd_demo() -> None:
-    from repro import BitDecoding, BitDecodingConfig, get_arch
+    from repro import BitDecodingConfig, get_arch
+    from repro.core.attention import BitDecoding
     from repro.core.softmax import reference_attention
 
     rng = np.random.default_rng(0)
@@ -56,8 +58,9 @@ def _cmd_demo() -> None:
 
 
 def _cmd_sweep(arch: str) -> None:
-    from repro import AttentionGeometry, BitDecoding, BitDecodingConfig, get_arch
+    from repro import AttentionGeometry, BitDecodingConfig, get_arch
     from repro.baselines import FlashDecodingV2
+    from repro.core.attention import BitDecoding
     from repro.core.arch_support import resolve_version
 
     spec = get_arch(arch)
@@ -100,6 +103,29 @@ def _cmd_experiment(name: str) -> None:
     lookup[name]().show()
 
 
+def _schedules_match(analytical, executed) -> bool:
+    return (
+        executed.executed_tokens == executed.total_generated_tokens
+        and executed.total_generated_tokens == analytical.total_generated_tokens
+        and executed.decode_steps == analytical.decode_steps
+        and executed.prefill_steps == analytical.prefill_steps
+        and executed.preemptions == analytical.preemptions
+    )
+
+
+def _decoded_bit_exact(runner_a, runner_b) -> bool:
+    """Every request's per-step decode hidden states, bit-compared."""
+    if runner_a.decoded.keys() != runner_b.decoded.keys():
+        return False
+    for req_id, steps_a in runner_a.decoded.items():
+        steps_b = runner_b.decoded[req_id]
+        if len(steps_a) != len(steps_b):
+            return False
+        if any(not np.array_equal(a, b) for a, b in zip(steps_a, steps_b)):
+            return False
+    return True
+
+
 def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
     """Real-token execution: schedule with the same clock, run the numerics.
 
@@ -107,7 +133,10 @@ def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
     analytical, once with ``execute=True`` so every scheduler step pushes
     real tokens through TinyTransformer + the paged low-bit cache sharing
     the engine's page table — and checks the schedules agree token for
-    token.
+    token.  With ``--prefix-cache`` two more executed runs pin down the
+    sharing machinery: a ``prefix_share=False`` run (hits copied into
+    private pages) must decode bit-identical hidden states, and a
+    cache-off run must be strictly slower on a shared-prefix trace.
     """
     import json
 
@@ -149,37 +178,70 @@ def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
         n_gpus=args.n_gpus,
         max_steps=args.steps,
         prefill_chunk_tokens=args.prefill_chunk,
+        prefix_cache=args.prefix_cache,
     )
+    execute = dict(execute=True, execute_seed=args.seed)
     analytical = ContinuousBatchingEngine(EngineConfig(attention=kernel, **common), trace).run()
-    executed = ContinuousBatchingEngine(
-        EngineConfig(
-            backend=PagedBitBackend(kernel), execute=True, execute_seed=args.seed, **common
-        ),
-        trace,
-    ).run()
-    match = (
-        executed.executed_tokens == executed.total_generated_tokens
-        and executed.total_generated_tokens == analytical.total_generated_tokens
-        and executed.decode_steps == analytical.decode_steps
-        and executed.prefill_steps == analytical.prefill_steps
-        and executed.preemptions == analytical.preemptions
+    executed_engine = ContinuousBatchingEngine(
+        EngineConfig(backend=PagedBitBackend(kernel), **execute, **common), trace
     )
+    executed = executed_engine.run()
+    match = _schedules_match(analytical, executed)
+    checks = {"schedule_match": match}
+    reports = {"analytical": analytical.to_dict(), "executed": executed.to_dict()}
+    if args.prefix_cache:
+        copied_engine = ContinuousBatchingEngine(
+            EngineConfig(
+                backend=PagedBitBackend(kernel),
+                **execute,
+                **{**common, "prefix_share": False},
+            ),
+            trace,
+        )
+        copied = copied_engine.run()
+        off = ContinuousBatchingEngine(
+            EngineConfig(
+                backend=PagedBitBackend(kernel),
+                **execute,
+                **{**common, "prefix_cache": False},
+            ),
+            trace,
+        ).run()
+        checks["share_vs_copy_schedule_match"] = (
+            copied.sim_time_s == executed.sim_time_s
+            and copied.prefix_hit_tokens == executed.prefix_hit_tokens
+            and copied.total_generated_tokens == executed.total_generated_tokens
+        )
+        checks["share_vs_copy_bit_exact"] = _decoded_bit_exact(
+            executed_engine._runner, copied_engine._runner
+        )
+        if args.shared_prefix > 0:
+            checks["hit_rate_positive"] = executed.prefix_hit_rate > 0
+            checks["faster_than_cache_off"] = (
+                executed.sustained_tokens_per_s > off.sustained_tokens_per_s
+            )
+            checks["more_effective_capacity"] = (
+                executed.effective_capacity_pages > off.effective_capacity_pages
+            )
+        match = all(checks.values())
+        reports["executed_copy"] = copied.to_dict()
+        reports["cache_off"] = off.to_dict()
     if args.json:
         print(json.dumps({
             "model": model.name,
             "arch": arch.name,
             "mode": "execute",
             "page_size": nr,
-            "schedule_match": match,
-            "reports": {
-                "analytical": analytical.to_dict(),
-                "executed": executed.to_dict(),
-            },
+            "prefix_cache": args.prefix_cache,
+            "schedule_match": checks["schedule_match"],
+            "checks": checks,
+            "reports": reports,
         }, indent=2))
     else:
         print(
             f"serve-sim --execute: {model.name} on {arch.name} | INT4 paged-bit, "
             f"page {nr} tok (= N_r), {n_pages} pages"
+            + (", prefix cache on" if args.prefix_cache else "")
         )
         for label, r in (("analytical", analytical), ("executed", executed)):
             ran = "-" if r.executed_tokens is None else str(r.executed_tokens)
@@ -188,7 +250,17 @@ def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
                 f"(ran {ran:>5}), decode steps {r.decode_steps}, "
                 f"preemptions {r.preemptions}, done {r.completed}"
             )
-        print(f"token counts match the analytical schedule: {match}")
+        if args.prefix_cache:
+            print(
+                f"  prefix cache: hit rate {executed.prefix_hit_rate:.3f} "
+                f"({executed.prefix_hit_tokens}/{executed.prefix_probe_tokens} tok), "
+                f"shared pages peak {executed.shared_pages_peak}, "
+                f"effective capacity {executed.effective_capacity_pages} pages"
+            )
+            for name, ok in checks.items():
+                print(f"  check {name}: {ok}")
+        else:
+            print(f"token counts match the analytical schedule: {match}")
     if not match:
         sys.exit(1)
 
@@ -212,6 +284,8 @@ def _cmd_serve_sim(args) -> None:
             seed=args.seed,
             prompt_jitter=args.prompt_jitter,
             output_jitter=args.output_jitter,
+            shared_prefix_fraction=args.shared_prefix,
+            prefix_groups=args.prefix_groups,
         )
         if args.execute:
             _cmd_serve_sim_execute(args, model, arch, trace)
@@ -232,6 +306,7 @@ def _cmd_serve_sim(args) -> None:
             n_gpus=args.n_gpus,
             max_steps=args.steps,
             prefill_chunk_tokens=args.prefill_chunk,
+            prefix_cache=args.prefix_cache,
         )
     except (KeyError, ValueError, ServingOOMError) as err:
         message = err.args[0] if err.args else err
@@ -268,22 +343,33 @@ def _cmd_serve_sim(args) -> None:
             if args.prefill_chunk
             else ", whole-prompt prefill"
         )
+        + (
+            f", prefix cache on ({args.shared_prefix:.0%} shared, "
+            f"{args.prefix_groups} group{'s' if args.prefix_groups != 1 else ''})"
+            if args.prefix_cache
+            else ""
+        )
     )
     header = (
         f"{'format':<6} {'pages':>7} {'peak':>5} {'preempt':>8} {'done':>5} "
         f"{'tok/s':>9} {'p50 ttft s':>10} {'p99 ttft s':>10} "
         f"{'p99 tbt ms':>10} {'p99 lat s':>10}"
     )
+    if args.prefix_cache:
+        header += f" {'hit %':>6} {'eff cap':>8}"
     print()
     print(header)
     print("-" * len(header))
     for r in reports:
-        print(
+        row = (
             f"{r.format_name:<6} {r.n_pages:>7} {r.peak_resident_batch:>5} "
             f"{r.preemptions:>8} {r.completed:>5} {r.sustained_tokens_per_s:>9.1f} "
             f"{fmt_s(r.p50_ttft_s)} {fmt_s(r.p99_ttft_s)} "
             f"{fmt_ms(r.p99_tbt_s, 10)} {fmt_s(r.p99_latency_s)}"
         )
+        if args.prefix_cache:
+            row += f" {r.prefix_hit_rate * 100:>6.1f} {r.effective_capacity_pages:>8}"
+        print(row)
 
 
 def main(argv=None) -> None:
@@ -342,6 +428,27 @@ def main(argv=None) -> None:
         type=int,
         default=None,
         help="page-pool size for --execute runs (pages of N_r tokens; default 96)",
+    )
+    serve.add_argument(
+        "--prefix-cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="probe a radix-style prefix cache at admission and share hit "
+        "pages copy-on-write (with --execute, also cross-checks sharing "
+        "against a page-copying run and a cache-off run)",
+    )
+    serve.add_argument(
+        "--shared-prefix",
+        type=float,
+        default=0.0,
+        help="fraction of every prompt that is a common prefix within its "
+        "prefix group (what the cache can hit; default 0.0)",
+    )
+    serve.add_argument(
+        "--prefix-groups",
+        type=int,
+        default=1,
+        help="number of disjoint shared-prefix families in the trace",
     )
     serve.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)

@@ -189,8 +189,23 @@ class PagedBitKVCache:
 
     # ---------------------------------------------------------- sequences
 
-    def adopt(self, seq_id: int) -> PagedSeqHandle:
-        """Bind an externally registered page-table sequence to the pool."""
+    def adopt(self, seq_id: int, prefix_tokens: int = 0) -> PagedSeqHandle:
+        """Bind an externally registered page-table sequence to the pool.
+
+        ``prefix_tokens`` marks that many leading tokens as already packed
+        into the sequence's pages (a prefix-cache hit): the handle starts
+        at that length and decodes read the shared pages' packed words
+        as-is — bit-exact reuse, no recompute.  Hits are page-granular, so
+        the count must be block-aligned (the residual slot starts empty).
+        """
+        if prefix_tokens % self.block_tokens:
+            raise ValueError(
+                f"prefix_tokens ({prefix_tokens}) must be a multiple of the "
+                f"packed block size N_r ({self.block_tokens}): prefix-cache "
+                "hits are whole flushed pages"
+            )
+        if prefix_tokens > self.table.sequences[seq_id].length:
+            raise ValueError("prefix_tokens exceeds the sequence's reserved length")
         try:
             slot = self.slots.allocate()
         except OutOfPagesError as err:
@@ -198,15 +213,34 @@ class PagedBitKVCache:
                 f"all {self.slots.n_pages} residual slots in use; release "
                 "finished sequences or construct the pool with more n_slots"
             ) from err
-        return PagedSeqHandle(self, seq_id, slot)
+        handle = PagedSeqHandle(self, seq_id, slot)
+        handle.seq_len = prefix_tokens
+        return handle
 
     def add_sequence(self) -> PagedSeqHandle:
         """Register a fresh empty sequence (store-owned table mode)."""
         return self.adopt(self.table.add_sequence(0))
 
+    def fork(self, handle: PagedSeqHandle) -> PagedSeqHandle:
+        """Clone a sequence copy-on-write: share every page, copy the slot.
+
+        The child maps the parent's physical pages — including a trailing
+        reserved-but-unflushed one — and gets its own residual slot seeded
+        with the parent's FP16 rows.  Packed pages stay shared until one
+        side's flush lands on a shared page, at which point
+        :meth:`_store_blocks` clones the mapping before writing (pages are
+        written whole, so the "copy" is just a fresh page id).
+        """
+        child_seq = self.table.fork_sequence(handle.seq_id)
+        child = self.adopt(child_seq)
+        child.seq_len = handle.seq_len
+        self.res_k[child.slot] = self.res_k[handle.slot]
+        self.res_v[child.slot] = self.res_v[handle.slot]
+        return child
+
     def free_slot(self, handle: PagedSeqHandle) -> None:
         """Return the residual slot; the scheduler owns the pages."""
-        self.slots.free(handle.slot)
+        self.slots.release(handle.slot)
         handle._dequant_memo = None
 
     def release(self, handle: PagedSeqHandle) -> None:
@@ -263,7 +297,7 @@ class PagedBitKVCache:
                     self.config,
                 )
                 first = handle.seq_len // nr
-                self._store_blocks(seq.pages[first : first + nb], flushed)
+                self._store_blocks(handle, first, nb, flushed)
                 handle.seq_len += nb * nr
                 written += nb * nr
                 continue
@@ -274,10 +308,21 @@ class PagedBitKVCache:
             written += take
             if handle.seq_len % nr == 0:
                 flushed = flush_blocks(res_k[None, :, None], res_v[None, :, None], self.config)
-                self._store_blocks([seq.pages[handle.seq_len // nr - 1]], flushed)
+                self._store_blocks(handle, handle.seq_len // nr - 1, 1, flushed)
 
-    def _store_blocks(self, pages: List[int], flushed: PackedBlockBatch) -> None:
-        """Write a flush's blocks into physical pages, whole pages only."""
+    def _store_blocks(
+        self, handle: PagedSeqHandle, first_block: int, nb: int, flushed: PackedBlockBatch
+    ) -> None:
+        """Write a flush's blocks into physical pages, whole pages only.
+
+        Copy-on-write guard: a target page mapped by more than one
+        sequence (a forked clone) is swapped for a fresh exclusive page
+        before the write — and since pages are only ever written whole,
+        no content copy is needed, just the remap.
+        """
+        pages = [
+            self.table.ensure_exclusive(handle.seq_id, first_block + i)[0] for i in range(nb)
+        ]
         idx = np.asarray(pages)
         self.k_words[idx] = flushed.k_words[0].swapaxes(0, 1)
         self.v_words[idx] = flushed.v_words[0].swapaxes(0, 1)
@@ -285,6 +330,26 @@ class PagedBitKVCache:
         self.k_zero[idx] = flushed.k_params.zero[0].swapaxes(0, 1)
         self.v_scale[idx] = flushed.v_params.scale[0].swapaxes(0, 1)
         self.v_zero[idx] = flushed.v_params.zero[0].swapaxes(0, 1)
+
+    def copy_pages(self, src: List[int], dst: List[int]) -> None:
+        """Clone packed words + metadata between physical pages.
+
+        The engine's ``prefix_share=False`` diagnostic mode uses this to
+        materialize prefix-cache hits as private copies instead of shared
+        mappings — the numerics must be bit-identical either way, which is
+        exactly what the sharing acceptance test pins down.
+        """
+        if len(src) != len(dst):
+            raise ValueError("src and dst page lists must have equal length")
+        if not src:
+            return
+        s, d = np.asarray(src), np.asarray(dst)
+        self.k_words[d] = self.k_words[s]
+        self.v_words[d] = self.v_words[s]
+        self.k_scale[d] = self.k_scale[s]
+        self.k_zero[d] = self.k_zero[s]
+        self.v_scale[d] = self.v_scale[s]
+        self.v_zero[d] = self.v_zero[s]
 
     # --------------------------------------------------------------- reads
 

@@ -84,29 +84,69 @@ class ModelRunner:
         self.seed = seed
         self.executed_tokens = 0
         self._programs: Dict[int, _SequenceProgram] = {}
+        #: Per-request decode hidden states, in generation order — the
+        #: bit-exactness witness the prefix-sharing comparisons diff.
+        self.decoded: Dict[int, List[np.ndarray]] = {}
 
     # ------------------------------------------------------------- lifecycle
 
-    def _prompt_inputs(self, req_id: int, prompt_len: int) -> List[np.ndarray]:
-        rng = np.random.default_rng([self.seed, req_id])
-        rows = (rng.standard_normal((prompt_len, self.model.hidden)) * 0.25).astype(np.float32)
+    def _prompt_inputs(self, req) -> List[np.ndarray]:
+        """Synthesize a request's prompt rows deterministically.
+
+        The shared-prefix rows are seeded by the request's *prefix group*,
+        not its id, so every request of the group really does feed the
+        model identical leading tokens — the content the prefix cache is
+        entitled to deduplicate.  The private remainder stays seeded by
+        the request id (and for ``shared_prefix_len == 0`` the stream is
+        exactly the pre-prefix-cache one).
+        """
+        req_id, prompt_len = req.req_id, req.prompt_len
+        shared = req.shared_prefix_len
+        parts = []
+        if shared:
+            group_rng = np.random.default_rng([self.seed, 1_000_003, req.prefix_group])
+            parts.append(group_rng.standard_normal((shared, self.model.hidden)))
+        if shared == 0:
+            rng = np.random.default_rng([self.seed, req_id])
+            parts.append(rng.standard_normal((prompt_len, self.model.hidden)))
+        elif prompt_len > shared:
+            rng = np.random.default_rng([self.seed, req_id])
+            parts.append(rng.standard_normal((prompt_len - shared, self.model.hidden)))
+        rows = (np.concatenate(parts, axis=0) * 0.25).astype(np.float32)
         return list(rows)
 
-    def on_admit(self, lc) -> None:
+    def on_admit(self, lc, copy_from: Optional[List[int]] = None) -> None:
         """Bind a just-admitted sequence to pool slots and a fresh session.
 
         Re-admission after preemption reuses the recorded input program,
         so the recomputed context is exactly the one the scheduler's
         ``prefill_target`` promises (prompt plus generated-so-far).
+
+        ``lc.cached_tokens`` leading tokens arrived via prefix-cache pages
+        already mapped into the sequence's block table: the handles and
+        the session cursor start there, so the next prefill chunk attends
+        the shared pages' packed words as-is — bit-exact reuse with no
+        recompute.  ``copy_from`` (the engine's ``prefix_share=False``
+        diagnostic) instead clones those pages' content into the
+        sequence's private pages in every layer store.
         """
         req = lc.request
         prog = self._programs.get(req.req_id)
         if prog is None:
-            prog = _SequenceProgram(inputs=self._prompt_inputs(req.req_id, req.prompt_len))
+            prog = _SequenceProgram(inputs=self._prompt_inputs(req))
             self._programs[req.req_id] = prog
-        prog.handles = [PagedBatchHandle(s, [s.adopt(lc.seq_id)]) for s in self.stores]
+        cached = lc.cached_tokens
+        prog.handles = [
+            PagedBatchHandle(s, [s.adopt(lc.seq_id, prefix_tokens=cached)])
+            for s in self.stores
+        ]
+        if copy_from:
+            dst = self.stores[0].table.sequences[lc.seq_id].pages[: len(copy_from)]
+            for store in self.stores:
+                store.copy_pages(copy_from, dst)
         prog.session = self.tt.new_session(prog.handles)
-        prog.written = 0
+        prog.session.positions = cached
+        prog.written = cached
         prog.pending = None
 
     def prefill(self, lc, n_tokens: int) -> None:
@@ -125,6 +165,7 @@ class ModelRunner:
         prog.inputs.append(x)  # consumed input: part of the recompute context
         h = self.tt.decode_step(x[None], prog.session)
         prog.pending = h[0]
+        self.decoded.setdefault(lc.request.req_id, []).append(np.array(h[0], np.float32))
         self.executed_tokens += 1
 
     def _free(self, prog: _SequenceProgram) -> None:

@@ -41,10 +41,10 @@ _DEPRECATED_REEXPORTS = ("BitDecoding", "BitKVCache")
 def __getattr__(name: str):
     if name in _DEPRECATED_REEXPORTS:
         warnings.warn(
-            f"importing {name} from repro.core is deprecated: use the "
-            f"AttentionBackend API in repro.attn (ContiguousBitBackend wraps "
-            f"this class), or repro.core.attention.{name} for the internal "
-            "class itself",
+            f"importing {name} from repro.core is deprecated and will be "
+            f"removed in repro 0.4: use the AttentionBackend API in "
+            f"repro.attn (ContiguousBitBackend wraps this class), or "
+            f"repro.core.attention.{name} for the internal class itself",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -2,7 +2,8 @@
 
 This is the public face of the library:
 
->>> from repro import BitDecoding, BitDecodingConfig, get_arch
+>>> from repro import BitDecodingConfig, get_arch
+>>> from repro.core.attention import BitDecoding
 >>> engine = BitDecoding(BitDecodingConfig(bits=4), get_arch("a100"))
 >>> cache = engine.prefill(k, v)            # [batch, hkv, seq, d] FP16
 >>> out = engine.decode(q, cache)           # q: [batch, 1, hq, d]

@@ -10,6 +10,7 @@ high-throughput serving benchmarks (Figs. 10, 11, 13).
 from repro.pages.allocator import OutOfPagesError, PageAllocator
 from repro.pages.page_table import PagedSequence, PageTable
 from repro.pages.paged_cache import PagedKVStore
+from repro.pages.prefix_cache import PrefixCache
 
 __all__ = [
     "PageAllocator",
@@ -17,4 +18,5 @@ __all__ = [
     "PageTable",
     "PagedSequence",
     "PagedKVStore",
+    "PrefixCache",
 ]

@@ -1,8 +1,27 @@
-"""Physical page allocator for the paged KV cache."""
+"""Physical page allocator for the paged KV cache.
+
+Ownership is reference-counted so multiple sequences can map the same
+physical page (prefix sharing): ``allocate`` hands out a page with
+refcount 1, ``acquire`` adds a reference, ``release`` drops one.  A page
+whose refcount hits zero either returns to the free list or — if it was
+marked *cacheable* (it backs a registered prefix-cache entry) — parks in
+an LRU pool of reclaimable pages.  Cached pages still count as free
+capacity: ``allocate`` evicts the least-recently-released cached page
+(notifying ``on_evict`` so the prefix cache can unregister it) when the
+free list runs dry.  The legacy exclusive-ownership ``free``/``free_many``
+calls survive as deprecated shims that require refcount == 1.
+"""
 
 from __future__ import annotations
 
-from typing import List, Set
+import warnings
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Set
+
+_FREE_DEPRECATION = (
+    "PageAllocator.free/free_many are deprecated and will be removed in repro 0.4; "
+    "pages are reference-counted now -- use release/release_many instead"
+)
 
 
 class OutOfPagesError(RuntimeError):
@@ -11,51 +30,146 @@ class OutOfPagesError(RuntimeError):
 
 
 class PageAllocator:
-    """Fixed pool of physical pages with O(1) allocate/free.
+    """Fixed pool of physical pages with refcounted O(1) allocate/release.
 
     Pages are identified by integer ids in ``[0, n_pages)``.  The allocator
-    tracks the free list explicitly so tests can assert conservation
-    invariants (no double allocation, no double free, free+used == total).
+    tracks the free list, per-page refcounts, and the LRU pool of cached
+    refcount-0 pages explicitly so tests can assert conservation invariants
+    (no double allocation, no negative refcount, used + reclaimable == total).
     """
 
-    def __init__(self, n_pages: int):
+    def __init__(self, n_pages: int, on_evict: Optional[Callable[[int], None]] = None):
         if n_pages <= 0:
             raise ValueError("n_pages must be positive")
         self.n_pages = n_pages
         self._free: List[int] = list(range(n_pages - 1, -1, -1))
-        self._used: Set[int] = set()
+        self._refs: Dict[int, int] = {}
+        # refcount-0 pages whose content is still registered somewhere
+        # (prefix cache); insertion order == least-recently-released first.
+        self._cached: "OrderedDict[int, None]" = OrderedDict()
+        self._cacheable: Set[int] = set()
+        self.on_evict = on_evict
+        self.evictions = 0
 
     @property
     def free_pages(self) -> int:
-        return len(self._free)
+        """Reclaimable pages: truly free plus cached-but-unreferenced."""
+        return len(self._free) + len(self._cached)
 
     @property
     def used_pages(self) -> int:
-        return len(self._used)
+        return len(self._refs)
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._cached)
+
+    def refcount(self, page: int) -> int:
+        return self._refs.get(page, 0)
+
+    def _evict_one(self) -> int:
+        page, _ = self._cached.popitem(last=False)  # least recently released
+        self._cacheable.discard(page)
+        self.evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(page)
+        return page
 
     def allocate(self) -> int:
-        """Take one page; raises :class:`OutOfPagesError` when exhausted."""
-        if not self._free:
+        """Take one page (refcount 1); raises :class:`OutOfPagesError` when
+        exhausted.  Prefers the free list; falls back to evicting the LRU
+        cached page."""
+        if self._free:
+            page = self._free.pop()
+        elif self._cached:
+            page = self._evict_one()
+        else:
             raise OutOfPagesError(f"all {self.n_pages} pages in use; cannot grow the KV cache")
-        page = self._free.pop()
-        self._used.add(page)
+        self._refs[page] = 1
         return page
 
     def allocate_many(self, count: int) -> List[int]:
         """Take ``count`` pages atomically (all or nothing)."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        if count > len(self._free):
-            raise OutOfPagesError(f"requested {count} pages but only {len(self._free)} free")
+        if count > self.free_pages:
+            raise OutOfPagesError(f"requested {count} pages but only {self.free_pages} free")
         return [self.allocate() for _ in range(count)]
 
-    def free(self, page: int) -> None:
-        """Return a page to the pool; double frees raise."""
-        if page not in self._used:
+    def acquire(self, page: int) -> None:
+        """Add a reference to a page.
+
+        The page must be live (refcount > 0) or parked in the cached pool —
+        acquiring a cached page resurrects it without touching its content,
+        which is exactly the prefix-cache hit path.
+        """
+        if page in self._refs:
+            self._refs[page] += 1
+            return
+        if page in self._cached:
+            del self._cached[page]
+            self._refs[page] = 1
+            return
+        raise ValueError(f"page {page} is not allocated or cached")
+
+    def release(self, page: int) -> None:
+        """Drop one reference; at zero the page becomes reclaimable."""
+        refs = self._refs.get(page)
+        if refs is None:
             raise ValueError(f"page {page} is not allocated")
-        self._used.remove(page)
-        self._free.append(page)
+        if refs > 1:
+            self._refs[page] = refs - 1
+            return
+        del self._refs[page]
+        if page in self._cacheable:
+            self._cached[page] = None  # most recently released -> end of LRU
+        else:
+            self._free.append(page)
+
+    def release_many(self, pages: List[int]) -> None:
+        for page in pages:
+            self.release(page)
+
+    def mark_cacheable(self, page: int) -> None:
+        """Tag a live page as backing registered cached content: when its
+        refcount drops to zero it parks in the LRU pool instead of being
+        recycled immediately."""
+        if page not in self._refs and page not in self._cached:
+            raise ValueError(f"page {page} is not allocated")
+        self._cacheable.add(page)
+
+    def unmark_cacheable(self, page: int) -> None:
+        """Drop the cacheable tag (the content registration went away).
+
+        A page already parked in the cached pool moves to the free list.
+        Does not fire ``on_evict`` — this is the direction the eviction
+        callback itself uses to unregister content.
+        """
+        self._cacheable.discard(page)
+        if page in self._cached:
+            del self._cached[page]
+            self._free.append(page)
+
+    # -- deprecated exclusive-ownership API ---------------------------------
+
+    def free(self, page: int) -> None:
+        """Deprecated: exclusive-ownership free. Use :meth:`release`."""
+        warnings.warn(_FREE_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._free_exclusive(page)
 
     def free_many(self, pages: List[int]) -> None:
+        """Deprecated: exclusive-ownership free. Use :meth:`release_many`."""
+        warnings.warn(_FREE_DEPRECATION, DeprecationWarning, stacklevel=2)
         for page in pages:
-            self.free(page)
+            self._free_exclusive(page)
+
+    def _free_exclusive(self, page: int) -> None:
+        refs = self._refs.get(page)
+        if refs is None:
+            raise ValueError(f"page {page} is not allocated")
+        if refs != 1:
+            raise ValueError(
+                f"page {page} has refcount {refs}; free() requires exclusive "
+                "ownership -- use release()"
+            )
+        self.release(page)

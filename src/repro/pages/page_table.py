@@ -1,9 +1,15 @@
-"""Logical-to-physical page tables for paged sequences."""
+"""Logical-to-physical page tables for paged sequences.
+
+Block tables may point multiple sequences at one physical page (prefix
+sharing); the allocator's refcounts keep shared pages alive until the
+last mapping drops.  Mutation of a shared page goes through
+:meth:`PageTable.ensure_exclusive` — copy-on-write at page granularity.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.pages.allocator import PageAllocator
 
@@ -45,17 +51,46 @@ class PageTable:
         self.sequences: List[PagedSequence] = []
         self._free_ids: List[int] = []
 
-    def add_sequence(self, initial_length: int = 0) -> int:
+    def add_sequence(
+        self, initial_length: int = 0, shared_pages: Optional[Sequence[int]] = None
+    ) -> int:
         """Register a sequence, allocating pages for an initial context.
+
+        ``shared_pages`` maps the sequence's leading blocks onto existing
+        physical pages (a prefix-cache hit): those pages are ``acquire``-d
+        rather than allocated, and only the remainder of the context draws
+        fresh pages.  The acquisitions happen first so a hit page parked in
+        the allocator's cached pool cannot be evicted to satisfy the fresh
+        part of the very same admission.
 
         Returns the sequence id; ids of released sequences are recycled, so
         a long-lived table stays bounded by peak concurrency rather than
         total admissions.  Raises ``OutOfPagesError`` (leaving no partial
         allocation behind) when the pool cannot hold the context.
         """
+        shared = list(shared_pages) if shared_pages else []
         n_pages = -(-initial_length // self.page_size) if initial_length else 0
-        pages = self.allocator.allocate_many(n_pages)
-        seq = PagedSequence(page_size=self.page_size, pages=pages, length=initial_length)
+        if len(shared) > n_pages:
+            raise ValueError(
+                f"{len(shared)} shared pages exceed the {n_pages} pages an "
+                f"initial context of {initial_length} tokens occupies"
+            )
+        for i, page in enumerate(shared):
+            try:
+                self.allocator.acquire(page)
+            except ValueError:
+                for held in shared[:i]:
+                    self.allocator.release(held)
+                raise
+        try:
+            fresh = self.allocator.allocate_many(n_pages - len(shared))
+        except Exception:
+            for held in shared:
+                self.allocator.release(held)
+            raise
+        seq = PagedSequence(
+            page_size=self.page_size, pages=shared + fresh, length=initial_length
+        )
         if self._free_ids:
             seq_id = self._free_ids.pop()
             self.sequences[seq_id] = seq
@@ -90,12 +125,47 @@ class PageTable:
             seq.pages.extend(self.allocator.allocate_many(n_pages))
         seq.length = target
 
+    def ensure_exclusive(self, seq_id: int, block_idx: int) -> Tuple[int, Optional[int]]:
+        """Copy-on-write: make ``block_idx`` of a sequence exclusively owned.
+
+        If the backing page is shared (refcount > 1), a fresh page is
+        allocated, swapped into this sequence's block table, and the old
+        reference dropped.  Returns ``(page_id, copied_from)`` where
+        ``copied_from`` is the old page id when a clone happened (the
+        physical store must copy page *content* from it — this class only
+        manages the mapping) and ``None`` when the page was already ours.
+        """
+        seq = self.sequences[seq_id]
+        page = seq.pages[block_idx]
+        if self.allocator.refcount(page) <= 1:
+            return page, None
+        fresh = self.allocator.allocate()
+        seq.pages[block_idx] = fresh
+        self.allocator.release(page)
+        return fresh, page
+
+    def fork_sequence(self, seq_id: int) -> int:
+        """Clone a sequence's mapping, sharing every backing page.
+
+        The child acquires a reference on each of the parent's pages —
+        including a trailing reserved-but-unflushed one — so either side
+        mutating a shared page must go through :meth:`ensure_exclusive`.
+        """
+        if seq_id in self._free_ids:
+            raise ValueError(f"sequence {seq_id} is released")
+        parent = self.sequences[seq_id]
+        child_id = self.add_sequence(
+            initial_length=parent.capacity, shared_pages=parent.pages
+        )
+        self.sequences[child_id].length = parent.length
+        return child_id
+
     def release_sequence(self, seq_id: int) -> None:
-        """Free all pages of a finished sequence and recycle its id."""
+        """Drop this sequence's reference on all its pages, recycle its id."""
         if seq_id in self._free_ids:
             raise ValueError(f"sequence {seq_id} is already released")
         seq = self.sequences[seq_id]
-        self.allocator.free_many(seq.pages)
+        self.allocator.release_many(seq.pages)
         seq.pages = []
         seq.length = 0
         self._free_ids.append(seq_id)

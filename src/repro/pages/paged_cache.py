@@ -102,13 +102,31 @@ class PagedKVStore:
         """Register an empty sequence; returns its id."""
         return self.table.add_sequence(0)
 
+    def fork(self, seq_id: int) -> int:
+        """Clone a sequence, sharing every physical page copy-on-write.
+
+        The child reads the parent's rows through the shared pages for
+        free; the first append either side makes to a shared page clones
+        it via :meth:`_exclusive` before writing.
+        """
+        return self.table.fork_sequence(seq_id)
+
+    def _exclusive(self, seq_id: int, block_idx: int) -> int:
+        """CoW guard: clone a shared page's content before mutating it."""
+        page, copied_from = self.table.ensure_exclusive(seq_id, block_idx)
+        if copied_from is not None:
+            self.k_pages[page] = self.k_pages[copied_from]
+            self.v_pages[page] = self.v_pages[copied_from]
+        return page
+
     def append(self, seq_id: int, k_row: np.ndarray, v_row: np.ndarray) -> None:
         """Append one token's K/V rows to a sequence."""
         k_row = np.asarray(k_row, dtype=self.dtype).reshape(self.head_dim)
         v_row = np.asarray(v_row, dtype=self.dtype).reshape(self.head_dim)
         self.table.append_token(seq_id)
         seq = self.table.sequences[seq_id]
-        page, offset = seq.lookup(seq.length - 1)
+        _, offset = seq.lookup(seq.length - 1)
+        page = self._exclusive(seq_id, (seq.length - 1) // self.page_size)
         self.k_pages[page, offset] = k_row
         self.v_pages[page, offset] = v_row
 
@@ -132,7 +150,8 @@ class PagedKVStore:
         self.table.extend_sequence(seq_id, n)
         written = 0
         while written < n:
-            page, offset = seq.lookup(start + written)
+            _, offset = seq.lookup(start + written)
+            page = self._exclusive(seq_id, (start + written) // self.page_size)
             take = min(self.page_size - offset, n - written)
             self.k_pages[page, offset : offset + take] = k_rows[written : written + take]
             self.v_pages[page, offset : offset + take] = v_rows[written : written + take]

@@ -27,6 +27,15 @@ Mechanics (the vLLM/QServe-style loop, one simulation step at a time):
   releases exactly the pages it had reserved so far, and requeues it at
   the front of the wait queue (recompute-style: its generated-token count
   is kept, its KV is rebuilt on re-admission).
+- **Prefix caching** (``EngineConfig.prefix_cache``, the vLLM/SGLang
+  discipline): admission probes a :class:`~repro.pages.prefix_cache.PrefixCache`
+  of flushed page-aligned blocks chunk by chunk; hit pages are mapped into
+  the new sequence's block table (refcount sharing through
+  :meth:`PageAllocator.acquire <repro.pages.allocator.PageAllocator.acquire>`)
+  and their prefill compute is skipped — priced *and* executed.  Pages
+  whose last reference drops park in an LRU pool the allocator evicts
+  from under pressure, so caching trades capacity for hit rate without
+  leaking the pool.
 - **Step timing** goes through the
   :class:`~repro.attn.protocol.AttentionBackend` protocol: a bare
   attention system is wrapped into an
@@ -70,8 +79,9 @@ from repro.model.memory import CacheFormat, page_pool_size
 from repro.model.serving import ServingOOMError
 from repro.pages.allocator import OutOfPagesError, PageAllocator
 from repro.pages.page_table import PageTable
+from repro.pages.prefix_cache import PrefixCache
 from repro.serving.report import ServingReport
-from repro.serving.request import Phase, Request, RequestLifecycle
+from repro.serving.request import Phase, Request, RequestLifecycle, prefix_block_keys
 
 __all__ = [
     "ContinuousBatchingEngine",
@@ -120,8 +130,20 @@ class EngineConfig:
     #: chunked prefill).  None keeps whole-prompt admission: a prompt is
     #: prefilled in one step, head-of-line blocking resident decodes.
     prefill_chunk_tokens: Optional[int] = None
+    #: Probe a radix-style prefix cache at admission: page-aligned blocks
+    #: whose content keys were registered by an earlier prefill are mapped
+    #: into the new sequence (refcount sharing) and their prefill compute
+    #: is skipped.
+    prefix_cache: bool = False
+    #: Diagnostic knob: with ``False``, prefix-cache hits allocate private
+    #: pages and *copy* the packed words instead of sharing the mapping.
+    #: The schedule and every decode output must be bit-identical to the
+    #: shared run — which is how the sharing machinery is validated.
+    prefix_share: bool = True
 
     def __post_init__(self) -> None:
+        if not self.prefix_share and not self.prefix_cache:
+            raise ValueError("prefix_share=False only modifies a prefix_cache=True run")
         if self.page_size <= 0:
             raise ValueError("page_size must be positive")
         if self.max_batch <= 0:
@@ -188,6 +210,9 @@ class ContinuousBatchingEngine:
         self.n_pages = n_pages
         self.allocator = PageAllocator(n_pages)
         self.table = PageTable(self.allocator, page_size=config.page_size)
+        self.prefix_cache: Optional[PrefixCache] = (
+            PrefixCache(self.allocator) if config.prefix_cache else None
+        )
         self.backend = config.resolve_backend()
         self._runner = None
         if config.execute:
@@ -218,6 +243,10 @@ class ContinuousBatchingEngine:
         self._total_generated = 0
         self._peak_resident = 0
         self._tbt_samples: List[float] = []
+        self._prefix_probe_tokens = 0
+        self._prefix_hit_tokens = 0
+        self._prefix_reclaimed_pages = 0
+        self._shared_pages_peak = 0
 
     # ------------------------------------------------------------- scheduling
 
@@ -233,30 +262,108 @@ class ContinuousBatchingEngine:
             return True
         return False
 
+    def _probe_prefix(self, head: RequestLifecycle) -> List[int]:
+        """Longest-prefix cache match for an admission, hit pages in order.
+
+        Hits are capped one block short of the context so at least one
+        token is always prefilled — the decode loop needs the last context
+        token's hidden state, so a fully cached prompt would have nothing
+        to seed generation from.  Pure: no counters move until the
+        admission actually happens (the caller may still balk at the page
+        gate and retry the probe next step).
+        """
+        if self.prefix_cache is None:
+            return []
+        max_blocks = (head.context_len - 1) // self.config.page_size
+        keys = prefix_block_keys(head.request, max_blocks, self.config.page_size)
+        return self.prefix_cache.match(keys)
+
+    def _fresh_pages_available(self, need: int, hit_pages: List[int]) -> bool:
+        """Can ``need`` pages be mapped given ``hit_pages`` arrive shared?
+
+        Matched pages that currently sit in the allocator's cached pool
+        count toward ``free_pages`` but will be resurrected, not
+        reallocated — so they are subtracted from the reclaimable supply
+        before the fresh remainder is checked.
+        """
+        if not self.config.prefix_share:
+            return need <= self.allocator.free_pages
+        resurrected = sum(1 for p in hit_pages if self.allocator.refcount(p) == 0)
+        return need - len(hit_pages) <= self.allocator.free_pages - resurrected
+
+    def _map_admission(self, head: RequestLifecycle, initial: int, hit_pages: List[int]) -> None:
+        """Register the sequence, account the hit, bind the runner.
+
+        In sharing mode the hit pages are mapped into the new sequence's
+        block table (refcount acquire); in the copy diagnostic mode the
+        sequence draws private pages and the runner clones the packed
+        words, so the numerics are identical while nothing is shared.
+        """
+        share = self.config.prefix_share
+        head.seq_id = self.table.add_sequence(
+            initial, shared_pages=hit_pages if share else None
+        )
+        head.cached_tokens = len(hit_pages) * self.config.page_size
+        head.registered_blocks = 0
+        self._prefix_probe_tokens += head.context_len if self.prefix_cache else 0
+        self._prefix_hit_tokens += head.cached_tokens
+        self._prefix_reclaimed_pages += len(hit_pages)
+        if head.admitted_s is None:
+            head.admitted_s = self._clock
+        if self._runner is not None:
+            self._runner.on_admit(
+                head, copy_from=None if share or not hit_pages else hit_pages
+            )
+
+    def _register_prefix(self, lc: RequestLifecycle) -> None:
+        """Register newly prefilled page-aligned blocks with the cache.
+
+        Runs after every prefill advance; only blocks fully written by
+        prefill are registered (decode-produced blocks are not, their
+        content depends on residency history).  First writer wins in the
+        cache, so re-registering a hit block is a no-op.
+        """
+        if self.prefix_cache is None or lc.seq_id is None:
+            return
+        ps = self.config.page_size
+        limit = min(lc.prefilled, lc.prefill_target) // ps
+        if limit <= lc.registered_blocks:
+            return
+        keys = prefix_block_keys(lc.request, limit, ps)
+        pages = self.table.sequences[lc.seq_id].pages
+        for i in range(lc.registered_blocks, limit):
+            self.prefix_cache.insert(keys[i], pages[i])
+        lc.registered_blocks = limit
+
     def _admit(self) -> None:
-        """FCFS admission: prefill queued requests while pages + slots last."""
+        """FCFS admission: prefill queued requests while pages + slots last.
+
+        With the prefix cache on, the head's context is probed block by
+        block first: hit pages are mapped instead of allocated and their
+        prefill compute is skipped — the prefill step is charged for the
+        uncached suffix only.
+        """
         cfg = self.config
         while self._queue and len(self._running) < cfg.max_batch:
             head = self._queue[0]
             if self._reject_impossible(head):
                 continue
             need = self._pages_needed(head.context_len)
-            if need > self.allocator.free_pages:
+            hit_pages = self._probe_prefix(head)
+            if not self._fresh_pages_available(need, hit_pages):
                 break
             self._queue.popleft()
-            head.seq_id = self.table.add_sequence(head.context_len)
+            self._map_admission(head, head.context_len, hit_pages)
             head.prefilled = head.prefill_target = head.context_len
-            if head.admitted_s is None:
-                head.admitted_s = self._clock
+            suffix = head.context_len - head.cached_tokens
             self._clock += (
-                self.backend.prefill_time_ms(cfg.model, cfg.arch, head.context_len, cfg.n_gpus)
-                * 1e-3
+                self.backend.prefill_time_ms(cfg.model, cfg.arch, suffix, cfg.n_gpus) * 1e-3
             )
             self._prefill_steps += 1
             self._running.append(head)
             if self._runner is not None:
-                self._runner.on_admit(head)
-                self._runner.prefill(head, head.context_len)
+                self._runner.prefill(head, suffix)
+            self._register_prefix(head)
         self._peak_resident = max(self._peak_resident, len(self._running))
 
     def _admit_chunked(self) -> None:
@@ -279,18 +386,17 @@ class ContinuousBatchingEngine:
             if self._reject_impossible(head):
                 continue
             need = self._pages_needed(head.context_len)
-            if committed + need > self.n_pages:
+            hit_pages = self._probe_prefix(head)
+            shared = len(hit_pages) if cfg.prefix_share else 0
+            if committed + need - shared > self.n_pages:
                 break
             self._queue.popleft()
-            head.seq_id = self.table.add_sequence(0)
-            head.prefilled = 0
+            self._map_admission(head, len(hit_pages) * cfg.page_size, hit_pages)
+            head.prefilled = head.cached_tokens
             head.prefill_target = head.context_len
-            if head.admitted_s is None:
-                head.admitted_s = self._clock
             self._running.append(head)
-            committed += need
-            if self._runner is not None:
-                self._runner.on_admit(head)
+            committed += need - shared
+            self._register_prefix(head)
         self._peak_resident = max(self._peak_resident, len(self._running))
 
     def _preempt(self, victim: RequestLifecycle) -> None:
@@ -307,6 +413,8 @@ class ContinuousBatchingEngine:
         victim.seq_id = None
         victim.prefilled = 0
         victim.prefill_target = 0
+        victim.cached_tokens = 0
+        victim.registered_blocks = 0
         victim.preemptions += 1
         self._preemptions += 1
         self._running.remove(victim)
@@ -365,6 +473,7 @@ class ContinuousBatchingEngine:
             budget -= take
             if self._runner is not None:
                 self._runner.prefill(lc, take)
+            self._register_prefix(lc)
         return chunks
 
     def _emit_tokens(self, decoders: Sequence[RequestLifecycle]) -> None:
@@ -448,19 +557,37 @@ class ContinuousBatchingEngine:
         self._emit_tokens(decoders)
 
     def _assert_conservation(self) -> None:
-        """Pages held by resident sequences must equal the allocator's books."""
-        held = sum(
-            len(self.table.sequences[lc.seq_id].pages)
-            for lc in self._running
-            if lc.seq_id is not None
-        )
+        """Pages held by resident sequences must equal the allocator's books.
+
+        Under prefix sharing a physical page may appear in several block
+        tables, so the check is refcount-aware: every page's refcount must
+        equal the number of resident mappings, the distinct resident pages
+        must equal the allocator's used count, and used + reclaimable
+        (free list + cached LRU pool) must cover the pool.  The same walk
+        records the instantaneous sharing saving (sum of refcount-1) whose
+        peak the report surfaces as effective extra capacity.
+        """
+        mapped: dict = {}
+        for lc in self._running:
+            if lc.seq_id is None:
+                continue
+            for page in self.table.sequences[lc.seq_id].pages:
+                mapped[page] = mapped.get(page, 0) + 1
         used = self.allocator.used_pages
         free = self.allocator.free_pages
-        if held != used or used + free != self.n_pages:
+        bad_refs = [
+            (page, count, self.allocator.refcount(page))
+            for page, count in mapped.items()
+            if self.allocator.refcount(page) != count
+        ]
+        if len(mapped) != used or used + free != self.n_pages or bad_refs:
             raise AssertionError(
-                f"page conservation violated: residents hold {held}, allocator "
-                f"says {used} used + {free} free of {self.n_pages}"
+                f"page conservation violated: residents map {len(mapped)} distinct "
+                f"pages, allocator says {used} used + {free} reclaimable of "
+                f"{self.n_pages}; refcount mismatches: {bad_refs[:5]}"
             )
+        saving = sum(count - 1 for count in mapped.values())
+        self._shared_pages_peak = max(self._shared_pages_peak, saving)
 
     # -------------------------------------------------------------------- run
 
@@ -514,6 +641,12 @@ class ContinuousBatchingEngine:
             mixed_steps=self._mixed_steps,
             prefill_chunk_tokens=self.config.prefill_chunk_tokens,
             executed_tokens=(self._runner.executed_tokens if self._runner is not None else None),
+            prefix_cache_enabled=self.config.prefix_cache,
+            prefix_hit_tokens=self._prefix_hit_tokens,
+            prefix_probe_tokens=self._prefix_probe_tokens,
+            prefix_reclaimed_pages=self._prefix_reclaimed_pages,
+            prefix_evictions=self.allocator.evictions,
+            shared_pages_peak=self._shared_pages_peak,
         )
 
 
@@ -527,6 +660,7 @@ def compare_formats(
     n_gpus: int = 1,
     max_steps: Optional[int] = None,
     prefill_chunk_tokens: Optional[int] = None,
+    prefix_cache: bool = False,
 ) -> List[ServingReport]:
     """Run the same trace through several (format, attention) stacks.
 
@@ -534,7 +668,8 @@ def compare_formats(
     device-memory budget — the lower-bit formats earn more pages, which is
     the whole serving argument of the paper.  ``prefill_chunk_tokens``
     switches every stack to chunked prefill so on/off comparisons stay
-    apples-to-apples.
+    apples-to-apples; ``prefix_cache`` likewise turns prefix caching on
+    for every stack.
     """
     reports = []
     for fmt, attention in stacks:
@@ -549,6 +684,7 @@ def compare_formats(
                 n_gpus=n_gpus,
                 max_steps=max_steps,
                 prefill_chunk_tokens=prefill_chunk_tokens,
+                prefix_cache=prefix_cache,
             ),
             requests,
         )

@@ -61,6 +61,31 @@ class ServingReport:
     #: for purely analytical runs.  Must equal ``total_generated_tokens``
     #: when set — the scheduler and the model runner advance in lock-step.
     executed_tokens: Optional[int] = None
+    #: Whether the engine probed a prefix cache at admission.
+    prefix_cache_enabled: bool = False
+    #: Prompt tokens served from the prefix cache (prefill compute skipped).
+    prefix_hit_tokens: int = 0
+    #: Prompt tokens probed against the cache (every admission's context).
+    prefix_probe_tokens: int = 0
+    #: Pages resurrected or shared instead of freshly prefilled (cumulative
+    #: count of hit pages across admissions — the "reclaimed" metric).
+    prefix_reclaimed_pages: int = 0
+    #: Cached refcount-0 pages the allocator evicted (LRU) under pressure.
+    prefix_evictions: int = 0
+    #: Peak pages saved by sharing at any instant: sum over resident pages
+    #: of (refcount - 1) at its maximum.
+    shared_pages_peak: int = 0
+    #: Pool capacity the trace effectively saw: physical pages plus the
+    #: peak concurrent sharing saving.  Equals ``n_pages`` when nothing
+    #: was ever shared.
+    effective_capacity_pages: int = 0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of probed prompt tokens served from the cache."""
+        if self.prefix_probe_tokens == 0:
+            return 0.0
+        return self.prefix_hit_tokens / self.prefix_probe_tokens
 
     @classmethod
     def build(
@@ -82,6 +107,13 @@ class ServingReport:
         mixed_steps: int = 0,
         prefill_chunk_tokens: Optional[int] = None,
         executed_tokens: Optional[int] = None,
+        prefix_cache_enabled: bool = False,
+        prefix_hit_tokens: int = 0,
+        prefix_probe_tokens: int = 0,
+        prefix_reclaimed_pages: int = 0,
+        prefix_evictions: int = 0,
+        shared_pages_peak: int = 0,
+        effective_capacity_pages: Optional[int] = None,
     ) -> "ServingReport":
         sustained = total_generated_tokens / sim_time_s if sim_time_s > 0 else 0.0
         return cls(
@@ -108,8 +140,21 @@ class ServingReport:
             p99_tbt_s=_percentile(tbts_s, 99.0),
             max_tbt_s=max(tbts_s) if tbts_s else None,
             executed_tokens=executed_tokens,
+            prefix_cache_enabled=prefix_cache_enabled,
+            prefix_hit_tokens=prefix_hit_tokens,
+            prefix_probe_tokens=prefix_probe_tokens,
+            prefix_reclaimed_pages=prefix_reclaimed_pages,
+            prefix_evictions=prefix_evictions,
+            shared_pages_peak=shared_pages_peak,
+            effective_capacity_pages=(
+                n_pages + shared_pages_peak
+                if effective_capacity_pages is None
+                else effective_capacity_pages
+            ),
         )
 
     def to_dict(self) -> dict:
         """JSON-safe summary (None percentiles stay None)."""
-        return asdict(self)
+        out = asdict(self)
+        out["prefix_hit_rate"] = self.prefix_hit_rate
+        return out

@@ -16,30 +16,63 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional
+from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
 
 @dataclass(frozen=True)
 class Request:
-    """One serving request: arrival time plus prompt/output lengths."""
+    """One serving request: arrival time plus prompt/output lengths.
+
+    ``shared_prefix_len`` marks the leading tokens as a shared system
+    prompt: every request with the same ``prefix_group`` has *identical*
+    token content there (the runner synthesizes those rows from the group,
+    not the request id), which is what the prefix cache deduplicates.
+    """
 
     req_id: int
     arrival_s: float
     prompt_len: int
     output_len: int
+    shared_prefix_len: int = 0
+    prefix_group: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
             raise ValueError("arrival_s must be non-negative")
         if self.prompt_len <= 0 or self.output_len <= 0:
             raise ValueError("prompt_len and output_len must be positive")
+        if not 0 <= self.shared_prefix_len <= self.prompt_len:
+            raise ValueError("shared_prefix_len must lie in [0, prompt_len]")
 
     @property
     def total_len(self) -> int:
         """Context length when the last output token has been decoded."""
         return self.prompt_len + self.output_len
+
+
+def prefix_block_keys(request: Request, n_blocks: int, page_size: int) -> List[Hashable]:
+    """Content keys of a request's first ``n_blocks`` page-aligned blocks.
+
+    Requests carry lengths, not token ids, so a block's "content hash" is
+    derived from its *token identity*: blocks fully inside the shared
+    prefix are tagged by ``(prefix_group, block_idx)`` — identical across
+    every request of the group — and later blocks by ``(req_id, block_idx)``.
+    Keys chain (block *i*'s key embeds all earlier tags), so equal keys
+    mean the entire token prefix up to that block matches, exactly like a
+    radix-tree path.  The tags are plain tuples, not salted ``hash()``
+    values, so they are stable across processes and runs.
+    """
+    keys: List[Hashable] = []
+    tags: List[Tuple] = []
+    for i in range(n_blocks):
+        if (i + 1) * page_size <= request.shared_prefix_len:
+            tags.append(("prefix", request.prefix_group, i))
+        else:
+            tags.append(("req", request.req_id, i))
+        keys.append(tuple(tags))
+    return keys
 
 
 class Phase(Enum):
@@ -71,6 +104,12 @@ class RequestLifecycle:
     prefilled: int = 0
     prefill_target: int = 0
     generated: int = 0
+    #: Leading tokens served from the prefix cache at this admission
+    #: (block-aligned; their prefill compute was skipped).
+    cached_tokens: int = 0
+    #: Leading blocks of the current residency already registered with the
+    #: prefix cache (so registration is incremental under chunked prefill).
+    registered_blocks: int = 0
     admitted_s: Optional[float] = None
     first_token_s: Optional[float] = None
     last_token_s: Optional[float] = None
@@ -119,6 +158,8 @@ def poisson_trace(
     seed: int = 0,
     prompt_jitter: float = 0.0,
     output_jitter: float = 0.0,
+    shared_prefix_fraction: float = 0.0,
+    prefix_groups: int = 1,
 ) -> List[Request]:
     """Build a deterministic Poisson arrival trace.
 
@@ -127,11 +168,23 @@ def poisson_trace(
     base values (0 keeps them fixed).  The same seed always yields the
     same trace, which is what makes the engine tests and the FP16 vs
     INT4/INT2 comparisons apples-to-apples.
+
+    ``shared_prefix_fraction`` models shared system prompts: that fraction
+    of the *base* prompt length is a prefix whose token content is shared
+    by every request assigned the same group (requests round-robin over
+    ``prefix_groups`` groups).  The prefix length is fixed per trace — not
+    jittered — so group members really do share it; jittered prompts are
+    clamped to leave at least one private token after the prefix.
     """
     if n_requests <= 0:
         raise ValueError("n_requests must be positive")
     if rate_rps <= 0:
         raise ValueError("rate_rps must be positive")
+    if not 0.0 <= shared_prefix_fraction < 1.0:
+        raise ValueError("shared_prefix_fraction must lie in [0, 1)")
+    if prefix_groups <= 0:
+        raise ValueError("prefix_groups must be positive")
+    shared_len = int(prompt_len * shared_prefix_fraction)
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / rate_rps, n_requests)
     arrivals = np.cumsum(gaps)
@@ -140,8 +193,10 @@ def poisson_trace(
         Request(
             req_id=i,
             arrival_s=float(arrivals[i]),
-            prompt_len=_jittered(rng, prompt_len, prompt_jitter),
+            prompt_len=max(shared_len + 1, _jittered(rng, prompt_len, prompt_jitter)),
             output_len=_jittered(rng, output_len, output_jitter),
+            shared_prefix_len=shared_len,
+            prefix_group=i % prefix_groups,
         )
         for i in range(n_requests)
     ]

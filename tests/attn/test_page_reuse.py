@@ -41,11 +41,12 @@ def _reference_reconstruction(k_rows, v_rows):
 
 
 # One op per draw: (kind, amount). "write" appends `amount` tokens to a
-# round-robin live sequence, "admit" starts a new one, "preempt" releases
-# the oldest live one (recycling its pages for whoever comes next).
+# round-robin live sequence, "admit" starts a new one, "fork" clones one
+# (sharing every page copy-on-write), "preempt" releases the oldest live
+# one (recycling its pages for whoever comes next).
 _OPS = st.lists(
     st.tuples(
-        st.sampled_from(["admit", "write", "preempt"]),
+        st.sampled_from(["admit", "write", "fork", "preempt"]),
         st.integers(min_value=1, max_value=NR + NR // 2),
     ),
     min_size=4,
@@ -70,10 +71,19 @@ class TestPageRecycling:
             elif kind == "write" and live:
                 idx = amount % len(live)
                 handle, k_all, v_all = live[idx]
-                free_tokens = store.table.allocator.free_pages * NR
+                alloc = store.table.allocator
+                # Pages this sequence shares with a fork: flushing into one
+                # copy-on-writes it, drawing a fresh page, so budget them
+                # out of the free pool before sizing the write.
+                shared = sum(
+                    1
+                    for p in store.table.sequences[handle.seq_id].pages
+                    if alloc.refcount(p) > 1
+                )
+                budget = alloc.free_pages - shared
                 pad = handle.seq_len % NR
-                take = min(amount, free_tokens + (NR - pad) % NR)
-                if take == 0:
+                take = min(amount, budget * NR + (NR - pad) % NR) if budget >= 0 else 0
+                if take <= 0:
                     continue
                 k_new, v_new = _rows(rng, take)
                 store.reserve(handle, take)
@@ -83,6 +93,11 @@ class TestPageRecycling:
                     np.concatenate([k_all, k_new], axis=1),
                     np.concatenate([v_all, v_new], axis=1),
                 )
+            elif kind == "fork" and live and len(live) < N_SLOTS:
+                handle, k_all, v_all = live[amount % len(live)]
+                child = store.fork(handle)
+                # The child inherits the parent's history as ground truth.
+                live.append((child, k_all.copy(), v_all.copy()))
             elif kind == "preempt" and live:
                 handle, _, _ = live.pop(0)
                 store.release(handle)  # pages go straight back to the pool
@@ -120,3 +135,42 @@ class TestPageRecycling:
         np.testing.assert_array_equal(second.dequant_kv()[1], v_ref)
         np.testing.assert_array_equal(second.residual_kv()[0], kr_ref)
         np.testing.assert_array_equal(second.residual_kv()[1], vr_ref)
+
+
+class TestCopyOnWriteDivergence:
+    def test_fork_then_diverge_is_bit_exact(self, rng):
+        """Fork a sequence, write different continuations to both sides,
+        and check each against a fresh unshared pool: copy-on-write must
+        keep the shared prefix bit-identical while neither side's writes
+        bleed into the other."""
+        store = PagedBitKVCache(CONFIG, HKV, D, n_pages=N_PAGES, n_slots=N_SLOTS)
+        parent = store.add_sequence()
+        k0, v0 = _rows(rng, 2 * NR + 5)
+        store.reserve(parent, 2 * NR + 5)
+        store.write_rows(parent, k0, v0)
+
+        child = store.fork(parent)
+        assert child.block_ids == parent.block_ids  # fully shared at fork
+        np.testing.assert_array_equal(child.residual_kv()[0], parent.residual_kv()[0])
+
+        ka, va = _rows(rng, NR + 7)
+        store.reserve(parent, NR + 7)
+        store.write_rows(parent, ka, va)
+        kb, vb = _rows(rng, NR + 2)
+        store.reserve(child, NR + 2)
+        store.write_rows(child, kb, vb)
+
+        # Divergence happened at the shared partially-filled block.
+        assert parent.block_ids[2] != child.block_ids[2]
+        assert parent.block_ids[:2] == child.block_ids[:2]
+
+        for handle, (ks, vs) in (
+            (parent, (np.concatenate([k0, ka], 1), np.concatenate([v0, va], 1))),
+            (child, (np.concatenate([k0, kb], 1), np.concatenate([v0, vb], 1))),
+        ):
+            (k_hat, v_hat), (k_res, v_res) = handle.dequant_kv(), handle.residual_kv()
+            (k_ref, v_ref), (kr_ref, vr_ref) = _reference_reconstruction(ks, vs)
+            np.testing.assert_array_equal(k_hat, k_ref)
+            np.testing.assert_array_equal(v_hat, v_ref)
+            np.testing.assert_array_equal(k_res, kr_ref)
+            np.testing.assert_array_equal(v_res, vr_ref)

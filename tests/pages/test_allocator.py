@@ -1,4 +1,4 @@
-"""Page allocator conservation invariants."""
+"""Page allocator conservation and refcount invariants."""
 
 import pytest
 from hypothesis import given, settings
@@ -13,11 +13,12 @@ class TestAllocator:
         assert alloc.free_pages == 16
         assert alloc.used_pages == 0
 
-    def test_allocate_free_cycle(self):
+    def test_allocate_release_cycle(self):
         alloc = PageAllocator(4)
         page = alloc.allocate()
         assert alloc.used_pages == 1
-        alloc.free(page)
+        assert alloc.refcount(page) == 1
+        alloc.release(page)
         assert alloc.used_pages == 0
         assert alloc.free_pages == 4
 
@@ -36,16 +37,16 @@ class TestAllocator:
         # Failed bulk allocation must not leak pages.
         assert alloc.free_pages == 3
 
-    def test_double_free_rejected(self):
+    def test_double_release_rejected(self):
         alloc = PageAllocator(2)
         page = alloc.allocate()
-        alloc.free(page)
+        alloc.release(page)
         with pytest.raises(ValueError):
-            alloc.free(page)
+            alloc.release(page)
 
-    def test_free_unallocated_rejected(self):
+    def test_release_unallocated_rejected(self):
         with pytest.raises(ValueError):
-            PageAllocator(2).free(0)
+            PageAllocator(2).release(0)
 
     def test_unique_page_ids(self):
         alloc = PageAllocator(32)
@@ -57,19 +58,143 @@ class TestAllocator:
             PageAllocator(0)
 
 
+class TestRefcounts:
+    def test_acquire_increments(self):
+        alloc = PageAllocator(2)
+        page = alloc.allocate()
+        alloc.acquire(page)
+        assert alloc.refcount(page) == 2
+        alloc.release(page)
+        assert alloc.refcount(page) == 1
+        assert alloc.used_pages == 1
+        alloc.release(page)
+        assert alloc.refcount(page) == 0
+        assert alloc.free_pages == 2
+
+    def test_acquire_unreferenced_uncached_rejected(self):
+        alloc = PageAllocator(2)
+        with pytest.raises(ValueError):
+            alloc.acquire(0)
+
+    def test_shared_page_not_reallocated(self):
+        alloc = PageAllocator(2)
+        page = alloc.allocate()
+        alloc.acquire(page)
+        alloc.release(page)  # still held once
+        other = alloc.allocate()
+        assert other != page
+        with pytest.raises(OutOfPagesError):
+            alloc.allocate()
+
+    def test_release_many(self):
+        alloc = PageAllocator(4)
+        pages = alloc.allocate_many(3)
+        alloc.release_many(pages)
+        assert alloc.free_pages == 4
+
+
+class TestCachedPages:
+    def test_cached_page_resurrected_by_acquire(self):
+        alloc = PageAllocator(2)
+        page = alloc.allocate()
+        alloc.mark_cacheable(page)
+        alloc.release(page)
+        assert alloc.cached_pages == 1
+        assert alloc.free_pages == 2  # cached counts as reclaimable
+        alloc.acquire(page)
+        assert alloc.refcount(page) == 1
+        assert alloc.cached_pages == 0
+
+    def test_eviction_is_lru_and_fires_callback(self):
+        evicted = []
+        alloc = PageAllocator(3, on_evict=evicted.append)
+        pages = alloc.allocate_many(3)
+        for p in pages:
+            alloc.mark_cacheable(p)
+        # Release in order a, b, c -> a is least recently cached.
+        for p in pages:
+            alloc.release(p)
+        # Pool has no truly-free pages; allocation must evict pages[0] first.
+        got = alloc.allocate()
+        assert got == pages[0]
+        assert evicted == [pages[0]]
+        assert alloc.evictions == 1
+
+    def test_unmark_cacheable_skips_callback(self):
+        evicted = []
+        alloc = PageAllocator(1, on_evict=evicted.append)
+        page = alloc.allocate()
+        alloc.mark_cacheable(page)
+        alloc.release(page)
+        alloc.unmark_cacheable(page)
+        assert alloc.cached_pages == 0
+        assert evicted == []
+        # Page is plain-free again.
+        assert alloc.allocate() == page
+
+    def test_cached_page_not_double_counted(self):
+        alloc = PageAllocator(2)
+        page = alloc.allocate()
+        alloc.mark_cacheable(page)
+        alloc.release(page)
+        assert alloc.free_pages + alloc.used_pages == 2
+
+
+class TestDeprecatedFree:
+    def test_free_warns_and_releases(self):
+        alloc = PageAllocator(2)
+        page = alloc.allocate()
+        with pytest.warns(DeprecationWarning, match="release"):
+            alloc.free(page)
+        assert alloc.free_pages == 2
+
+    def test_free_many_warns(self):
+        alloc = PageAllocator(4)
+        pages = alloc.allocate_many(2)
+        with pytest.warns(DeprecationWarning, match="release"):
+            alloc.free_many(pages)
+        assert alloc.free_pages == 4
+
+    def test_free_rejects_shared_page(self):
+        alloc = PageAllocator(2)
+        page = alloc.allocate()
+        alloc.acquire(page)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                alloc.free(page)
+        # Refcount must be untouched by the failed free.
+        assert alloc.refcount(page) == 2
+
+
 class TestConservationProperty:
-    @given(ops=st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    @given(ops=st.lists(st.integers(0, 2), min_size=1, max_size=200))
     @settings(max_examples=50, deadline=None)
     def test_free_plus_used_constant(self, ops):
+        """allocate / acquire / release in any order conserve the pool.
+
+        `held` is a multiset of outstanding references; the allocator's
+        refcounts must track it exactly, never go negative, and allocate
+        must never hand out a page that still has references.
+        """
         alloc = PageAllocator(16)
         held = []
         for op in ops:
             if op == 0:
                 try:
-                    held.append(alloc.allocate())
+                    page = alloc.allocate()
+                    assert page not in held  # never recycle a referenced page
+                    held.append(page)
                 except OutOfPagesError:
                     assert alloc.free_pages == 0
-            elif held:
-                alloc.free(held.pop())
+            elif op == 1 and held:
+                page = held[len(held) // 2]
+                alloc.acquire(page)
+                held.append(page)
+            elif op == 2 and held:
+                page = held.pop()
+                alloc.release(page)
+            for page in set(held):
+                assert alloc.refcount(page) == held.count(page)
+                assert alloc.refcount(page) > 0
             assert alloc.free_pages + alloc.used_pages == 16
-            assert alloc.used_pages == len(held)
+            assert alloc.used_pages == len(set(held))

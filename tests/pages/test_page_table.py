@@ -123,6 +123,118 @@ class TestPageTable:
         assert table.total_tokens() == 12
 
 
+class TestSharedPages:
+    def test_add_sequence_acquires_shared(self):
+        alloc = PageAllocator(8)
+        table = PageTable(alloc, page_size=4)
+        parent = table.add_sequence(initial_length=8)
+        shared = table.sequences[parent].pages
+        child = table.add_sequence(initial_length=12, shared_pages=shared)
+        assert table.sequences[child].pages[:2] == shared
+        assert all(alloc.refcount(p) == 2 for p in shared)
+        # Only the third block drew a fresh page.
+        assert alloc.used_pages == 3
+
+    def test_too_many_shared_pages_rejected(self):
+        table = PageTable(PageAllocator(8), page_size=4)
+        parent = table.add_sequence(initial_length=8)
+        with pytest.raises(ValueError):
+            table.add_sequence(
+                initial_length=4, shared_pages=table.sequences[parent].pages
+            )
+
+    def test_shared_admission_rolls_back_on_oom(self):
+        alloc = PageAllocator(3)
+        table = PageTable(alloc, page_size=4)
+        parent = table.add_sequence(initial_length=8)
+        shared = table.sequences[parent].pages
+        with pytest.raises(OutOfPagesError):
+            # Needs 2 fresh pages on top of the 2 shared; only 1 free.
+            table.add_sequence(initial_length=16, shared_pages=shared)
+        # The failed admission dropped its references on the shared pages.
+        assert all(alloc.refcount(p) == 1 for p in shared)
+        assert alloc.free_pages == 1
+
+    def test_shared_admission_rolls_back_bad_page(self):
+        alloc = PageAllocator(8)
+        table = PageTable(alloc, page_size=4)
+        parent = table.add_sequence(initial_length=4)
+        good = table.sequences[parent].pages[0]
+        with pytest.raises(ValueError):
+            table.add_sequence(initial_length=8, shared_pages=[good, 7])
+        assert alloc.refcount(good) == 1
+
+    def test_release_keeps_shared_pages_alive(self):
+        alloc = PageAllocator(8)
+        table = PageTable(alloc, page_size=4)
+        parent = table.add_sequence(initial_length=8)
+        shared = table.sequences[parent].pages
+        child = table.add_sequence(initial_length=8, shared_pages=shared)
+        table.release_sequence(parent)
+        # The child still maps the pages; they must not be reclaimable.
+        assert all(alloc.refcount(p) == 1 for p in shared)
+        assert alloc.free_pages == 6
+        table.release_sequence(child)
+        assert alloc.free_pages == 8
+
+
+class TestCopyOnWrite:
+    def test_exclusive_page_untouched(self):
+        alloc = PageAllocator(8)
+        table = PageTable(alloc, page_size=4)
+        sid = table.add_sequence(initial_length=4)
+        page = table.sequences[sid].pages[0]
+        assert table.ensure_exclusive(sid, 0) == (page, None)
+        assert table.sequences[sid].pages[0] == page
+
+    def test_shared_page_cloned(self):
+        alloc = PageAllocator(8)
+        table = PageTable(alloc, page_size=4)
+        parent = table.add_sequence(initial_length=4)
+        old = table.sequences[parent].pages[0]
+        child = table.add_sequence(initial_length=4, shared_pages=[old])
+        fresh, copied_from = table.ensure_exclusive(child, 0)
+        assert copied_from == old
+        assert fresh != old
+        assert table.sequences[child].pages[0] == fresh
+        # Parent keeps the original page, now exclusively.
+        assert table.sequences[parent].pages[0] == old
+        assert alloc.refcount(old) == 1
+        assert alloc.refcount(fresh) == 1
+
+
+class TestForkSequence:
+    def test_fork_shares_everything(self):
+        alloc = PageAllocator(8)
+        table = PageTable(alloc, page_size=4)
+        parent = table.add_sequence(initial_length=6)
+        child = table.fork_sequence(parent)
+        assert table.sequences[child].pages == table.sequences[parent].pages
+        assert table.sequences[child].length == 6
+        assert alloc.used_pages == 2  # no new physical pages
+
+    def test_fork_released_sequence_raises(self):
+        table = PageTable(PageAllocator(8), page_size=4)
+        sid = table.add_sequence(initial_length=4)
+        table.release_sequence(sid)
+        with pytest.raises(ValueError):
+            table.fork_sequence(sid)
+
+    def test_fork_then_diverge(self):
+        alloc = PageAllocator(8)
+        table = PageTable(alloc, page_size=4)
+        parent = table.add_sequence(initial_length=8)
+        child = table.fork_sequence(parent)
+        table.append_token(child)  # third page, child-private
+        fresh, copied_from = table.ensure_exclusive(child, 1)
+        assert copied_from == table.sequences[parent].pages[1]
+        assert table.sequences[child].pages[0] == table.sequences[parent].pages[0]
+        assert table.sequences[child].pages[1] == fresh
+        table.release_sequence(parent)
+        table.release_sequence(child)
+        assert alloc.free_pages == 8
+
+
 class TestGrowthProperty:
     @given(
         page_size=st.sampled_from([4, 16, 64]),

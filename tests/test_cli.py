@@ -111,3 +111,64 @@ class TestServeSimExecute:
         assert executed["executed_tokens"] == executed["total_generated_tokens"]
         assert analytical["executed_tokens"] is None
         assert executed["total_generated_tokens"] == analytical["total_generated_tokens"]
+
+
+class TestServeSimPrefixCache:
+    # Prompts long enough that half of one is page-aligned in *both* page
+    # geometries: the analytical default (64 tok) and execute's N_r (32).
+    _ARGS = [
+        "serve-sim", "--model", "tiny", "--requests", "8", "--rate", "5000",
+        "--prompt-len", "256", "--output-len", "24", "--max-batch", "8",
+        "--seed", "7", "--shared-prefix", "0.5", "--prefix-cache",
+    ]
+
+    def test_analytical_table_has_hit_columns(self, capsys):
+        main(self._ARGS)
+        out = capsys.readouterr().out
+        assert "prefix cache on (50% shared, 1 group)" in out
+        assert "hit %" in out and "eff cap" in out
+
+    def test_analytical_json_carries_hit_rate(self, capsys):
+        import json
+
+        main(self._ARGS + ["--json"])
+        payload = json.loads(capsys.readouterr().out)
+        for report in payload["reports"]:
+            assert report["prefix_cache_enabled"] is True
+            assert report["prefix_hit_rate"] > 0
+            assert report["effective_capacity_pages"] > report["n_pages"]
+
+    def test_execute_runs_all_cross_checks(self, capsys):
+        main(self._ARGS + ["--execute", "--pages", "96"])
+        out = capsys.readouterr().out
+        for check in (
+            "check schedule_match: True",
+            "check share_vs_copy_schedule_match: True",
+            "check share_vs_copy_bit_exact: True",
+            "check hit_rate_positive: True",
+            "check faster_than_cache_off: True",
+            "check more_effective_capacity: True",
+        ):
+            assert check in out
+
+    def test_execute_json_carries_all_reports(self, capsys):
+        import json
+
+        main(self._ARGS + ["--execute", "--pages", "96", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["prefix_cache"] is True
+        assert all(payload["checks"].values())
+        assert set(payload["reports"]) == {
+            "analytical", "executed", "executed_copy", "cache_off",
+        }
+        assert payload["reports"]["executed"]["prefix_hit_rate"] > 0
+        assert payload["reports"]["cache_off"]["prefix_hit_rate"] == 0
+
+    def test_no_prefix_cache_flag_restores_plain_run(self, capsys):
+        main([
+            "serve-sim", "--model", "tiny", "--requests", "4", "--rate", "100",
+            "--prompt-len", "64", "--output-len", "8", "--no-prefix-cache",
+        ])
+        out = capsys.readouterr().out
+        assert "prefix cache on" not in out
+        assert "hit %" not in out
