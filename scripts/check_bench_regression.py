@@ -32,6 +32,12 @@ the seeded shared-prefix trace must stay at or above ``--min-hit-rate``
 cache-on throughput must never fall below cache-off.  A baseline that
 records the section makes it mandatory in the current results.
 
+Likewise an ``offload`` section (see ``benchmarks/bench_offload.py``):
+on the seeded over-capacity trace, swap-preemption throughput must stay
+strictly above recompute at the same device page budget, with the
+speedup at or above ``--min-offload-speedup`` (default 1.0, baseline
+``offload.floors`` may override), and the run must have actually swapped.
+
 Exit status is non-zero on any gated regression, which is what CI's
 ``bench`` job gates on.  When a throughput change is intentional, refresh
 the baseline::
@@ -39,6 +45,7 @@ the baseline::
     python benchmarks/bench_serving_engine.py --fast --prefill-chunk 512 \\
         --out benchmarks/baseline.json
     python benchmarks/bench_prefix_cache.py --fast --out benchmarks/baseline.json
+    python benchmarks/bench_offload.py --fast --out benchmarks/baseline.json
 """
 
 from __future__ import annotations
@@ -55,6 +62,8 @@ DEFAULT_MIN_PREFILL_SPEEDUP = 3.0
 DEFAULT_MAX_FLATNESS = 2.0
 #: Prefix-cache hit-rate floor on the half-shared benchmark trace.
 DEFAULT_MIN_HIT_RATE = 0.25
+#: Swap-vs-recompute throughput floor on the over-capacity offload trace.
+DEFAULT_MIN_OFFLOAD_SPEEDUP = 1.0
 
 
 def _pct(current: float | None, base: float | None) -> str:
@@ -206,6 +215,59 @@ def compare_prefix(
     return failures
 
 
+def compare_offload(
+    offload: dict,
+    baseline_offload: dict | None = None,
+    min_speedup: float | None = None,
+) -> list[str]:
+    """Gate the tiered-offload serving point (empty list = pass).
+
+    The trace deliberately overcommits the device tier, so a swap run
+    that never swapped means the working-set discipline broke; swap
+    throughput at or below recompute means migration started costing
+    more than the replays it avoids.  The floor resolves as: explicit
+    argument > the baseline's ``offload.floors`` entry > the module
+    default.
+    """
+    floors = (baseline_offload or {}).get("floors", {})
+    if min_speedup is None:
+        min_speedup = floors.get("min_swap_speedup", DEFAULT_MIN_OFFLOAD_SPEEDUP)
+
+    failures: list[str] = []
+    swap = offload.get("tokens_per_s_swap")
+    recompute = offload.get("tokens_per_s_recompute")
+    speedup = offload.get("swap_speedup")
+    swap_outs = offload.get("swap_outs", 0)
+    base = baseline_offload or {}
+    swap_s = "n/a" if swap is None else f"{swap:.1f}"
+    rec_s = "n/a" if recompute is None else f"{recompute:.1f}"
+    speedup_s = "n/a" if speedup is None else f"{speedup:.3f}x"
+    print(
+        f"offload: swap {swap_s} tok/s vs recompute {rec_s} "
+        f"({speedup_s}, floor {min_speedup:.2f}x, "
+        f"baseline {_pct(speedup, base.get('swap_speedup'))}), "
+        f"{swap_outs} swap-outs, "
+        f"stall {offload.get('offload_stall_s', 'n/a')} s "
+        "[stall reported, not gated]"
+    )
+    if not swap_outs:
+        failures.append(
+            "offload: the over-capacity trace never swapped; the working-set "
+            "discipline is not demoting under pressure"
+        )
+    if swap is None or recompute is None or swap <= recompute:
+        failures.append(
+            f"offload: swap throughput ({swap_s} tok/s) is not strictly above "
+            f"recompute ({rec_s} tok/s) at the same device page budget"
+        )
+    elif speedup is None or speedup < min_speedup:
+        failures.append(
+            f"offload: swap speedup {speedup_s} fell below the floor "
+            f"{min_speedup:.2f}x"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_serving.json")
@@ -249,6 +311,13 @@ def main(argv: list[str] | None = None) -> int:
         help="min prefix-cache hit rate on the shared-prefix trace "
         f"(default: baseline floors, else {DEFAULT_MIN_HIT_RATE})",
     )
+    parser.add_argument(
+        "--min-offload-speedup",
+        type=float,
+        default=None,
+        help="min swap-vs-recompute throughput ratio on the offload trace "
+        f"(default: baseline floors, else {DEFAULT_MIN_OFFLOAD_SPEEDUP})",
+    )
     args = parser.parse_args(argv)
     with open(args.current) as fh:
         current = json.load(fh)
@@ -263,6 +332,14 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif baseline.get("prefix_cache"):
         failures.append("prefix cache: missing from current results")
+    if current.get("offload"):
+        failures += compare_offload(
+            current["offload"],
+            baseline.get("offload"),
+            min_speedup=args.min_offload_speedup,
+        )
+    elif baseline.get("offload"):
+        failures.append("offload: missing from current results")
     if args.kernels:
         with open(args.kernels) as fh:
             kernels = json.load(fh)

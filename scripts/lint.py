@@ -31,6 +31,7 @@ FORMAT_TARGETS = [
     "src/repro/attn",
     "src/repro/baselines",
     "src/repro/core",
+    "src/repro/gpu",
     "src/repro/model",
     "src/repro/pages",
     "src/repro/serving",
@@ -38,6 +39,7 @@ FORMAT_TARGETS = [
     "tests/pages",
     "tests/serving",
     "benchmarks/bench_kernel_hotpath.py",
+    "benchmarks/bench_offload.py",
     "benchmarks/bench_prefix_cache.py",
     "benchmarks/bench_serving_engine.py",
 ]

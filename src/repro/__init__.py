@@ -23,11 +23,9 @@ low-bit (bit-exact reference) and analytical (cost model):
 
 The lower-level ``BitDecoding`` engine / ``BitKVCache`` pair remains
 available for kernel-granular work (simulated launches, ablations) from
-:mod:`repro.core.attention`; the top-level re-exports are deprecated
-shims slated for removal in repro 0.4.
+:mod:`repro.core.attention`; the 0.2-era top-level re-exports were
+removed in 0.4 (see the README migration table).
 """
-
-import warnings
 
 from repro.attn import (
     AnalyticalBackend,
@@ -41,32 +39,13 @@ from repro.core.config import AttentionGeometry, BitDecodingConfig
 from repro.core.quantization import QuantScheme
 from repro.gpu import ArchSpec, get_arch
 
-__version__ = "0.2.0"
-
-_DEPRECATED_REEXPORTS = ("BitDecoding", "BitKVCache")
-
-
-def __getattr__(name: str):
-    if name in _DEPRECATED_REEXPORTS:
-        warnings.warn(
-            f"importing {name} from repro is deprecated and will be removed "
-            f"in repro 0.4: use the AttentionBackend API in repro.attn, or "
-            f"repro.core.attention.{name} for the internal class itself",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.core import attention
-
-        return getattr(attention, name)
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+__version__ = "0.4.0"
 
 __all__ = [
     "AnalyticalBackend",
     "AttentionBackend",
     "AttentionGeometry",
-    "BitDecoding",
     "BitDecodingConfig",
-    "BitKVCache",
     "ContiguousBitBackend",
     "KVCacheHandle",
     "PagedBitBackend",

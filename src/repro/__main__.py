@@ -9,6 +9,8 @@ Usage::
     python -m repro serve-sim [--steps 50]  # continuous-batching simulation
     python -m repro serve-sim --model tiny --execute  # real token execution
     python -m repro serve-sim --prefix-cache --shared-prefix 0.5  # prefix caching
+    python -m repro serve-sim --model tiny --execute --preemption swap \\
+        --device-pages 16 --host-pages 48   # tiered KV offload
 """
 
 from __future__ import annotations
@@ -167,28 +169,109 @@ def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
     kernel = BitDecoding(kernel_config, arch)
     nr = kernel_config.residual_block_size
     fmt = int_format(4, model, residual_window=nr)
+    swap = args.preemption == "swap"
+    if swap and args.pages is not None:
+        print(
+            "serve-sim: --preemption swap sizes the pool from the tier "
+            "geometry; use --device-pages/--host-pages, not --pages"
+        )
+        sys.exit(2)
+    if swap and (args.device_pages is None or args.host_pages is None):
+        print(
+            "serve-sim: --preemption swap needs --device-pages and "
+            "--host-pages (the pool is their sum plus --disk-pages)"
+        )
+        sys.exit(2)
     n_pages = 96 if args.pages is None else args.pages
+    # A request whose own context outgrows the tier every decode step must
+    # fit in could never finish even with the pool to itself; the engine
+    # would silently reject it, which reads as a mystery shortfall in the
+    # completion counts.  Fail fast with the fix spelled out instead.
+    fit_pages = args.device_pages if swap else n_pages
+    worst = max(trace, key=lambda r: r.total_len, default=None)
+    if worst is not None and -(-worst.total_len // nr) > fit_pages:
+        need = -(-worst.total_len // nr)
+        tier = "device tier" if swap else "page pool"
+        fix = (
+            f"raise --device-pages to at least {need}"
+            if swap
+            else f"raise --pages to at least {need}, or offload with "
+            f"--preemption swap --device-pages {need} --host-pages {need}"
+        )
+        print(
+            f"serve-sim: request {worst.req_id} needs {need} pages for its "
+            f"{worst.total_len}-token context (prompt + output) but the "
+            f"{tier} holds only {fit_pages}; it can never complete, even "
+            f"alone — {fix}"
+        )
+        sys.exit(2)
     common = dict(
         model=model,
         arch=arch,
         fmt=fmt,
         page_size=nr,
-        n_pages=n_pages,
         max_batch=args.max_batch,
         n_gpus=args.n_gpus,
         max_steps=args.steps,
         prefill_chunk_tokens=args.prefill_chunk,
         prefix_cache=args.prefix_cache,
     )
+    if swap:
+        common.update(
+            preemption="swap",
+            device_pages=args.device_pages,
+            host_pages=args.host_pages,
+            disk_pages=args.disk_pages,
+        )
+    else:
+        common["n_pages"] = n_pages
     execute = dict(execute=True, execute_seed=args.seed)
     analytical = ContinuousBatchingEngine(EngineConfig(attention=kernel, **common), trace).run()
     executed_engine = ContinuousBatchingEngine(
         EngineConfig(backend=PagedBitBackend(kernel), **execute, **common), trace
     )
     executed = executed_engine.run()
-    match = _schedules_match(analytical, executed)
-    checks = {"schedule_match": match}
+    checks = {"schedule_match": _schedules_match(analytical, executed)}
     reports = {"analytical": analytical.to_dict(), "executed": executed.to_dict()}
+    if swap:
+        # Two recompute references bracket the swap run: an *unpressured*
+        # pool of the same total page count proves swapped-and-restored
+        # decode is bit-identical to never-swapped decode, and a pool of
+        # just the device tier shows what the same device budget costs
+        # when pressure is paid in recomputation instead of PCIe traffic.
+        untiered = {
+            k: v
+            for k, v in common.items()
+            if k not in ("preemption", "device_pages", "host_pages", "disk_pages")
+        }
+        total_pages = args.device_pages + args.host_pages + args.disk_pages
+        baseline_engine = ContinuousBatchingEngine(
+            EngineConfig(
+                backend=PagedBitBackend(kernel),
+                **execute,
+                **{**untiered, "n_pages": total_pages},
+            ),
+            trace,
+        )
+        baseline = baseline_engine.run()
+        pressured = ContinuousBatchingEngine(
+            EngineConfig(
+                backend=PagedBitBackend(kernel),
+                **execute,
+                **{**untiered, "n_pages": args.device_pages},
+            ),
+            trace,
+        ).run()
+        checks["all_completed"] = executed.completed == len(trace)
+        checks["swap_vs_unpressured_bit_exact"] = _decoded_bit_exact(
+            executed_engine._runner, baseline_engine._runner
+        )
+        if executed.swap_outs:
+            checks["swap_faster_than_recompute"] = (
+                executed.sustained_tokens_per_s > pressured.sustained_tokens_per_s
+            )
+        reports["recompute_unpressured"] = baseline.to_dict()
+        reports["recompute_pressured"] = pressured.to_dict()
     if args.prefix_cache:
         copied_engine = ContinuousBatchingEngine(
             EngineConfig(
@@ -223,9 +306,9 @@ def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
             checks["more_effective_capacity"] = (
                 executed.effective_capacity_pages > off.effective_capacity_pages
             )
-        match = all(checks.values())
         reports["executed_copy"] = copied.to_dict()
         reports["cache_off"] = off.to_dict()
+    match = all(checks.values())
     if args.json:
         print(json.dumps({
             "model": model.name,
@@ -238,9 +321,16 @@ def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
             "reports": reports,
         }, indent=2))
     else:
+        pool = (
+            f"device {args.device_pages} + host {args.host_pages}"
+            + (f" + disk {args.disk_pages}" if args.disk_pages else "")
+            + " pages, swap preemption"
+            if swap
+            else f"{n_pages} pages"
+        )
         print(
             f"serve-sim --execute: {model.name} on {arch.name} | INT4 paged-bit, "
-            f"page {nr} tok (= N_r), {n_pages} pages"
+            f"page {nr} tok (= N_r), {pool}"
             + (", prefix cache on" if args.prefix_cache else "")
         )
         for label, r in (("analytical", analytical), ("executed", executed)):
@@ -250,6 +340,18 @@ def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
                 f"(ran {ran:>5}), decode steps {r.decode_steps}, "
                 f"preemptions {r.preemptions}, done {r.completed}"
             )
+        if swap:
+            print(
+                f"  offload: swap-outs {executed.swap_outs}, "
+                f"swap-ins {executed.swap_ins}, faults {executed.offload_faults}, "
+                f"stall {executed.offload_stall_s * 1e3:.2f} ms, "
+                f"d2h {executed.offload_d2h_bytes} B, h2d {executed.offload_h2d_bytes} B"
+            )
+            print(
+                f"  throughput: swap {executed.sustained_tokens_per_s:.1f} tok/s vs "
+                f"recompute@device {pressured.sustained_tokens_per_s:.1f} tok/s vs "
+                f"unpressured {baseline.sustained_tokens_per_s:.1f} tok/s"
+            )
         if args.prefix_cache:
             print(
                 f"  prefix cache: hit rate {executed.prefix_hit_rate:.3f} "
@@ -257,6 +359,7 @@ def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
                 f"shared pages peak {executed.shared_pages_peak}, "
                 f"effective capacity {executed.effective_capacity_pages} pages"
             )
+        if swap or args.prefix_cache:
             for name, ok in checks.items():
                 print(f"  check {name}: {ok}")
         else:
@@ -292,6 +395,17 @@ def _cmd_serve_sim(args) -> None:
             return
         if args.pages is not None:
             print("serve-sim: --pages only applies to --execute runs")
+            sys.exit(2)
+        if (
+            args.preemption != "recompute"
+            or args.device_pages is not None
+            or args.host_pages is not None
+            or args.disk_pages
+        ):
+            print(
+                "serve-sim: --preemption swap and the tier sizes only apply "
+                "to --execute runs"
+            )
             sys.exit(2)
         page_size = 64 if args.page_size is None else args.page_size
         residual_window = 64 if args.residual_window is None else args.residual_window
@@ -428,6 +542,35 @@ def main(argv=None) -> None:
         type=int,
         default=None,
         help="page-pool size for --execute runs (pages of N_r tokens; default 96)",
+    )
+    serve.add_argument(
+        "--preemption",
+        choices=("recompute", "swap"),
+        default="recompute",
+        help="page-pressure discipline for --execute runs: recompute "
+        "releases the victim's pages and replays its prefill; swap demotes "
+        "them to the host tier and promotes them back bit-exactly (also "
+        "cross-checks against recompute runs at the total and device-only "
+        "page budgets)",
+    )
+    serve.add_argument(
+        "--device-pages",
+        type=int,
+        default=None,
+        help="device-tier frames under --preemption swap (the decode "
+        "working set must fit here at once)",
+    )
+    serve.add_argument(
+        "--host-pages",
+        type=int,
+        default=None,
+        help="host-tier frames backing the device tier under --preemption swap",
+    )
+    serve.add_argument(
+        "--disk-pages",
+        type=int,
+        default=0,
+        help="modeled NVMe frames behind the host tier (default 0)",
     )
     serve.add_argument(
         "--prefix-cache",

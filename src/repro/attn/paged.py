@@ -47,6 +47,7 @@ from repro.core.residual_kernel import PackedBlockBatch, flush_blocks
 from repro.gpu.arch import ArchSpec
 from repro.pages.allocator import OutOfPagesError, PageAllocator
 from repro.pages.page_table import PageTable
+from repro.pages.tiers import TieredPageStore, TierObserver
 
 
 class PagedSeqHandle(KVCacheHandle):
@@ -114,7 +115,7 @@ class PagedBatchHandle(KVCacheHandle):
         return self.seqs[0].seq_len if self.seqs else 0
 
 
-class PagedBitKVCache:
+class PagedBitKVCache(TierObserver):
     """Page-pool storage for one layer's packed low-bit K/V.
 
     The pool arrays mirror :class:`PackedBlockBatch` with the block axis
@@ -130,6 +131,14 @@ class PagedBitKVCache:
     page reservation then belongs to the scheduler and
     :meth:`write_rows` only fills what was reserved.  Without ``table``
     the store owns its table and reserves pages as it writes.
+
+    Pass ``tiers`` to spread the pool over a
+    :class:`~repro.pages.tiers.TieredPageStore`: the pool axis then
+    spans *frames* (device + host + disk), logical page ids map through
+    the store's bijection, and this cache registers as a tier observer
+    so migrations move its packed words and metadata bit-exactly.  Reads
+    of a non-resident page take the measured fallback: the store faults
+    it into the device tier synchronously and records the stall.
     """
 
     def __init__(
@@ -140,6 +149,7 @@ class PagedBitKVCache:
         n_pages: int = 256,
         n_slots: int = 16,
         table: Optional[PageTable] = None,
+        tiers: Optional[TieredPageStore] = None,
     ):
         if config.version == "fp4":
             raise NotImplementedError(
@@ -166,6 +176,11 @@ class PagedBitKVCache:
             self.shared_table = True
         self.table = table
         n_pages = table.allocator.n_pages
+        if tiers is not None:
+            if tiers.allocator is not table.allocator:
+                raise ValueError("tiers must be built over the page table's allocator")
+            tiers.add_observer(self)
+        self.tiers = tiers
 
         # One probe flush fixes every pool shape/dtype: the fragment-word
         # tensor and group-stat layouts depend only on (N_r, d, config),
@@ -186,6 +201,27 @@ class PagedBitKVCache:
         self.slots = PageAllocator(n_slots)
         self.res_k = np.zeros((n_slots, hkv, nr, head_dim), np.float16)
         self.res_v = np.zeros((n_slots, hkv, nr, head_dim), np.float16)
+
+    def _pools(self) -> Tuple[np.ndarray, ...]:
+        return (self.k_words, self.v_words, self.k_scale, self.k_zero, self.v_scale, self.v_zero)
+
+    def _frames(self, pages) -> np.ndarray:
+        """Physical pool indices for logical page ids (identity untiered)."""
+        if self.tiers is None:
+            return np.asarray(pages)
+        return self.tiers.frames_of(list(pages))
+
+    # --------------------------------------------------- TierObserver hooks
+
+    def copy_frame(self, src: int, dst: int) -> None:
+        for pool in self._pools():
+            pool[dst] = pool[src]
+
+    def exchange_frames(self, a: int, b: int) -> None:
+        for pool in self._pools():
+            tmp = pool[a].copy()
+            pool[a] = pool[b]
+            pool[b] = tmp
 
     # ---------------------------------------------------------- sequences
 
@@ -215,6 +251,44 @@ class PagedBitKVCache:
             ) from err
         handle = PagedSeqHandle(self, seq_id, slot)
         handle.seq_len = prefix_tokens
+        return handle
+
+    def reattach(
+        self,
+        seq_id: int,
+        seq_len: int,
+        res_k: Optional[np.ndarray] = None,
+        res_v: Optional[np.ndarray] = None,
+    ) -> PagedSeqHandle:
+        """Rebind a sequence whose pages survived while its handle did not.
+
+        Swap-in path: the scheduler kept the page-table sequence (and its
+        packed pages, wherever the tier store parked them) across a
+        preemption, but the residual slot was returned.  ``seq_len`` may
+        sit mid-block, so unlike :meth:`adopt` this also restores the
+        partial FP16 residual rows (``[hkv, res_len, d]``) stashed at
+        swap-out.
+        """
+        if seq_len > self.table.sequences[seq_id].length:
+            raise ValueError("seq_len exceeds the sequence's reserved length")
+        n_res = seq_len % self.block_tokens
+        if n_res and (res_k is None or res_v is None):
+            raise ValueError(
+                f"seq_len ({seq_len}) implies {n_res} residual tokens; "
+                "their FP16 rows must be supplied to reattach"
+            )
+        try:
+            slot = self.slots.allocate()
+        except OutOfPagesError as err:
+            raise OutOfPagesError(
+                f"all {self.slots.n_pages} residual slots in use; release "
+                "finished sequences or construct the pool with more n_slots"
+            ) from err
+        handle = PagedSeqHandle(self, seq_id, slot)
+        handle.seq_len = seq_len
+        if n_res:
+            self.res_k[slot][:, :n_res] = np.asarray(res_k, np.float16)
+            self.res_v[slot][:, :n_res] = np.asarray(res_v, np.float16)
         return handle
 
     def add_sequence(self) -> PagedSeqHandle:
@@ -323,7 +397,7 @@ class PagedBitKVCache:
         pages = [
             self.table.ensure_exclusive(handle.seq_id, first_block + i)[0] for i in range(nb)
         ]
-        idx = np.asarray(pages)
+        idx = self._frames(pages)
         self.k_words[idx] = flushed.k_words[0].swapaxes(0, 1)
         self.v_words[idx] = flushed.v_words[0].swapaxes(0, 1)
         self.k_scale[idx] = flushed.k_params.scale[0].swapaxes(0, 1)
@@ -343,7 +417,7 @@ class PagedBitKVCache:
             raise ValueError("src and dst page lists must have equal length")
         if not src:
             return
-        s, d = np.asarray(src), np.asarray(dst)
+        s, d = self._frames(src), self._frames(dst)
         self.k_words[d] = self.k_words[s]
         self.v_words[d] = self.v_words[s]
         self.k_scale[d] = self.k_scale[s]
@@ -354,10 +428,18 @@ class PagedBitKVCache:
     # --------------------------------------------------------------- reads
 
     def _dequant_pages(self, pages: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Gather pages into a :class:`PackedBlockBatch` and dequantize."""
+        """Gather pages into a :class:`PackedBlockBatch` and dequantize.
+
+        Under a tier store this is the measured fallback: any page still
+        off-device faults in synchronously (stall recorded) before the
+        gather, so reads are always device reads.
+        """
+        if self.tiers is not None:
+            self.tiers.ensure_resident([int(p) for p in pages])
+        frames = self._frames(pages)
 
         def gather(pool: np.ndarray) -> np.ndarray:
-            return np.ascontiguousarray(pool[pages].swapaxes(0, 1))[None]
+            return np.ascontiguousarray(pool[frames].swapaxes(0, 1))[None]
 
         batch = PackedBlockBatch(
             length=self.block_tokens,
@@ -533,7 +615,17 @@ class PagedBitBackend(AttentionBackend):
 
     def decode_step(self, q: np.ndarray, block_table: KVCacheHandle) -> np.ndarray:
         bt: PagedBatchHandle = block_table
-        outs = [self.engine.decode(q[b : b + 1], seqh) for b, seqh in enumerate(bt.seqs)]
+        tiers = bt.store.tiers
+        if tiers is not None and bt.seqs:
+            # Overlap model: while sequence b's tile walk runs, the next
+            # sequence's non-resident pages stream in.  Only the first
+            # sequence has nothing to hide behind — it faults synchronously.
+            tiers.ensure_resident(bt.seqs[0].block_ids)
+        outs = []
+        for b, seqh in enumerate(bt.seqs):
+            if tiers is not None and b + 1 < len(bt.seqs):
+                tiers.ensure_resident(bt.seqs[b + 1].block_ids, prefetch=True)
+            outs.append(self.engine.decode(q[b : b + 1], seqh))
         return np.concatenate(outs, axis=0)
 
     def release(self, block_table: KVCacheHandle) -> None:

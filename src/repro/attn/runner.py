@@ -20,13 +20,14 @@ recompute-style recovery over the real numeric path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.attn.paged import PagedBatchHandle, PagedBitBackend, PagedBitKVCache
 from repro.model.transformer import CacheSession, TinyTransformer
 from repro.pages.page_table import PageTable
+from repro.pages.tiers import TieredPageStore
 
 
 @dataclass
@@ -38,6 +39,8 @@ class _SequenceProgram:
     written: int = 0
     pending: Optional[np.ndarray] = None
     handles: List[PagedBatchHandle] = field(default_factory=list)
+    #: Swapped-out state: (seq_len, per-layer FP16 residual row stash).
+    swap_state: Optional[Tuple[int, List[Tuple[np.ndarray, np.ndarray]]]] = None
 
 
 class ModelRunner:
@@ -50,6 +53,7 @@ class ModelRunner:
         table: PageTable,
         n_slots: int,
         seed: int = 0,
+        tiers: Optional[TieredPageStore] = None,
     ):
         if not backend.executes_tokens:
             raise ValueError(f"backend {backend.name!r} cannot execute tokens")
@@ -78,7 +82,9 @@ class ModelRunner:
         )
         cfg = backend.config
         self.stores = [
-            PagedBitKVCache(cfg, model.hkv, model.head_dim, n_slots=n_slots, table=table)
+            PagedBitKVCache(
+                cfg, model.hkv, model.head_dim, n_slots=n_slots, table=table, tiers=tiers
+            )
             for _ in range(model.n_layers)
         ]
         self.seed = seed
@@ -180,6 +186,49 @@ class ModelRunner:
     def on_preempt(self, lc) -> None:
         """Drop the cache binding; the scheduler frees the pages itself."""
         self._free(self._programs[lc.request.req_id])
+
+    def on_swap_out(self, lc) -> None:
+        """Park a sequence whose pages survive off-device (swap preemption).
+
+        The scheduler keeps the page-table sequence mapped and the tier
+        store demotes its packed pages; all the runner must save is what
+        lives outside the pages — each layer's partial FP16 residual rows
+        — plus the decode cursor.  The session object (positions, pending
+        input) stays on the program, unbound from any cache handle.
+        """
+        prog = self._programs[lc.request.req_id]
+        seqh0 = prog.handles[0].seqs[0]
+        seq_len, n_res = seqh0.seq_len, seqh0.res_len
+        stash = []
+        for handle in prog.handles:
+            seqh = handle.seqs[0]
+            store = handle.store
+            stash.append(
+                (
+                    np.array(store.res_k[seqh.slot][:, :n_res]),
+                    np.array(store.res_v[seqh.slot][:, :n_res]),
+                )
+            )
+            store.free_slot(seqh)
+        prog.swap_state = (seq_len, stash)
+        prog.handles = []
+        prog.session.caches = []
+
+    def on_swap_in(self, lc) -> None:
+        """Rebind a swapped sequence: same pages, restored residual rows.
+
+        Packed pages were never unmapped, so the handles pick up exactly
+        the words that were flushed before the swap — the bit-identity
+        the swap parity suite asserts.
+        """
+        prog = self._programs[lc.request.req_id]
+        seq_len, stash = prog.swap_state
+        prog.handles = [
+            PagedBatchHandle(store, [store.reattach(lc.seq_id, seq_len, rk, rv)])
+            for store, (rk, rv) in zip(self.stores, stash)
+        ]
+        prog.session.caches = list(prog.handles)
+        prog.swap_state = None
 
     def on_finish(self, lc) -> None:
         self._free(self._programs.pop(lc.request.req_id))

@@ -17,38 +17,17 @@ Subpackage map (paper section in parentheses):
 
 The *public* cache/engine API moved to :mod:`repro.attn` (the
 ``AttentionBackend`` protocol and its paged / contiguous / analytical
-implementations).  ``repro.core.BitDecoding`` and ``repro.core.BitKVCache``
-remain importable as deprecation shims; the classes themselves live on in
-:mod:`repro.core.attention` as the contiguous backend's internals.
+implementations).  The 0.2-era ``repro.core.BitDecoding`` /
+``repro.core.BitKVCache`` re-export shims were removed in 0.4; the
+classes themselves live on in :mod:`repro.core.attention` as the
+contiguous backend's internals.
 """
-
-import warnings
 
 from repro.core.config import AttentionGeometry, BitDecodingConfig
 from repro.core.quantization import QuantScheme
 
 __all__ = [
-    "BitDecoding",
-    "BitKVCache",
     "AttentionGeometry",
     "BitDecodingConfig",
     "QuantScheme",
 ]
-
-_DEPRECATED_REEXPORTS = ("BitDecoding", "BitKVCache")
-
-
-def __getattr__(name: str):
-    if name in _DEPRECATED_REEXPORTS:
-        warnings.warn(
-            f"importing {name} from repro.core is deprecated and will be "
-            f"removed in repro 0.4: use the AttentionBackend API in "
-            f"repro.attn (ContiguousBitBackend wraps this class), or "
-            f"repro.core.attention.{name} for the internal class itself",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.core import attention
-
-        return getattr(attention, name)
-    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

@@ -130,9 +130,7 @@ class ArchSpec:
             raise ValueError(f"unknown tensor-core precision {precision!r}")
         tflops = table[precision]
         if tflops <= 0:
-            raise ValueError(
-                f"{self.name} has no tensor-core support for {precision}"
-            )
+            raise ValueError(f"{self.name} has no tensor-core support for {precision}")
         return tflops * 1e12
 
     @property

@@ -170,9 +170,7 @@ def simulate_kernel(arch: ArchSpec, launch: KernelLaunch) -> KernelResult:
 
     # Barriers serialize within a block; blocks across the machine run them
     # in parallel, so charge per-wave.
-    barrier_time = (
-        launch.trace.barriers_per_block * BARRIER_CYCLES * arch.cycle_s * occ.waves
-    )
+    barrier_time = launch.trace.barriers_per_block * BARRIER_CYCLES * arch.cycle_s * occ.waves
     launch_time = launch.launches * arch.kernel_launch_us * 1e-6
     total = launch_time + exec_time + barrier_time
 

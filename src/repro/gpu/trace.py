@@ -84,18 +84,14 @@ class OpTrace:
 
     # --- recording helpers --------------------------------------------------
 
-    def gmem_read(
-        self, nbytes: float, pattern: AccessPattern = AccessPattern.COALESCED
-    ) -> None:
+    def gmem_read(self, nbytes: float, pattern: AccessPattern = AccessPattern.COALESCED) -> None:
         """Record a global-memory read of ``nbytes`` with an access pattern."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         self.gmem_read_bytes += nbytes
         self.gmem_read_bytes_effective += nbytes / pattern.value
 
-    def gmem_write(
-        self, nbytes: float, pattern: AccessPattern = AccessPattern.COALESCED
-    ) -> None:
+    def gmem_write(self, nbytes: float, pattern: AccessPattern = AccessPattern.COALESCED) -> None:
         """Record a global-memory write of ``nbytes`` with an access pattern."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")

@@ -122,6 +122,47 @@ def pages_in_budget(
     return int(budget_bytes // page_bytes(model, fmt, page_size))
 
 
+#: The three places a physical page can live in the tiered store.
+MEMORY_TIERS = ("device", "host", "disk")
+
+
+@dataclass(frozen=True)
+class MemoryTierModel:
+    """Analytical bandwidth/latency model of page migration between tiers.
+
+    Device <-> host transfers ride PCIe (one DMA per page migration);
+    host <-> disk transfers ride NVMe, whose read and write bandwidths
+    differ.  A device <-> disk migration stages through host memory and
+    pays both legs.  Defaults approximate PCIe 4.0 x16 and a datacenter
+    NVMe drive — deliberately round numbers, since every consumer prices
+    *relative* costs (swap vs recompute), not absolute hardware truth.
+    """
+
+    pcie_gbs: float = 25.0
+    pcie_latency_us: float = 10.0
+    nvme_read_gbs: float = 7.0
+    nvme_write_gbs: float = 3.5
+    nvme_latency_us: float = 80.0
+
+    def _leg_ms(self, nbytes: float, gbs: float, latency_us: float) -> float:
+        return latency_us * 1e-3 + nbytes / (gbs * 1e9) * 1e3
+
+    def transfer_ms(self, nbytes: float, src: str, dst: str) -> float:
+        """Milliseconds to move ``nbytes`` from tier ``src`` to ``dst``."""
+        for tier in (src, dst):
+            if tier not in MEMORY_TIERS:
+                raise ValueError(f"unknown memory tier {tier!r}; expected {MEMORY_TIERS}")
+        if src == dst:
+            return 0.0
+        ms = 0.0
+        if "device" in (src, dst):
+            ms += self._leg_ms(nbytes, self.pcie_gbs, self.pcie_latency_us)
+        if "disk" in (src, dst):
+            gbs = self.nvme_read_gbs if src == "disk" else self.nvme_write_gbs
+            ms += self._leg_ms(nbytes, gbs, self.nvme_latency_us)
+        return ms
+
+
 def page_pool_size(
     model: ModelConfig,
     arch: ArchSpec,

@@ -7,16 +7,20 @@ the fused baselines (QServe, Atom) run on top of this for the
 high-throughput serving benchmarks (Figs. 10, 11, 13).
 """
 
-from repro.pages.allocator import OutOfPagesError, PageAllocator
+from repro.pages.allocator import EvictionPolicy, OutOfPagesError, PageAllocator
 from repro.pages.page_table import PagedSequence, PageTable
 from repro.pages.paged_cache import PagedKVStore
 from repro.pages.prefix_cache import PrefixCache
+from repro.pages.tiers import TieredPageStore, TierObserver
 
 __all__ = [
+    "EvictionPolicy",
     "PageAllocator",
     "OutOfPagesError",
     "PageTable",
     "PagedSequence",
     "PagedKVStore",
     "PrefixCache",
+    "TieredPageStore",
+    "TierObserver",
 ]

@@ -2,26 +2,24 @@
 
 Ownership is reference-counted so multiple sequences can map the same
 physical page (prefix sharing): ``allocate`` hands out a page with
-refcount 1, ``acquire`` adds a reference, ``release`` drops one.  A page
-whose refcount hits zero either returns to the free list or — if it was
-marked *cacheable* (it backs a registered prefix-cache entry) — parks in
-an LRU pool of reclaimable pages.  Cached pages still count as free
-capacity: ``allocate`` evicts the least-recently-released cached page
-(notifying ``on_evict`` so the prefix cache can unregister it) when the
-free list runs dry.  The legacy exclusive-ownership ``free``/``free_many``
-calls survive as deprecated shims that require refcount == 1.
+refcount 1, ``acquire`` adds a reference, ``release`` drops one.  What
+happens when a refcount hits zero is governed by registered
+:class:`EvictionPolicy` observers: if any policy *retains* the page (its
+content still backs something — a prefix-cache entry, say) it parks in an
+LRU pool of reclaimable pages instead of returning to the free list.
+Parked pages still count as free capacity: ``allocate`` evicts the
+least-recently-released parked page (notifying every policy through
+:meth:`EvictionPolicy.page_evicted`) when the free list runs dry.
+
+The 0.2-era ``on_evict`` callback + ``mark_cacheable``/``unmark_cacheable``
+trio and the exclusive-ownership ``free``/``free_many`` shims were removed
+in 0.4; see the README migration table.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Set
-
-_FREE_DEPRECATION = (
-    "PageAllocator.free/free_many are deprecated and will be removed in repro 0.4; "
-    "pages are reference-counted now -- use release/release_many instead"
-)
+from typing import Dict, List
 
 
 class OutOfPagesError(RuntimeError):
@@ -29,31 +27,68 @@ class OutOfPagesError(RuntimeError):
     serving layer uses to cap batch size)."""
 
 
+class EvictionPolicy:
+    """Observer of a :class:`PageAllocator`'s refcount-0 lifecycle.
+
+    One protocol governs who may keep a reclaimable page alive and who
+    must be told when it is reclaimed: the prefix cache retains pages
+    whose packed content it still maps, and the tiered page store watches
+    releases to keep its residency bookkeeping honest.  All hooks default
+    to no-ops so a policy implements only the directions it cares about.
+    """
+
+    def retains(self, page: int) -> bool:
+        """Should ``page`` park in the reclaimable pool at refcount 0?"""
+        return False
+
+    def page_released(self, page: int) -> None:
+        """``page``'s refcount hit zero (it parked or went truly free)."""
+
+    def page_evicted(self, page: int) -> None:
+        """The allocator reclaimed parked ``page`` under pressure: any
+        registration keeping it alive is now stale and must be dropped."""
+
+
 class PageAllocator:
     """Fixed pool of physical pages with refcounted O(1) allocate/release.
 
     Pages are identified by integer ids in ``[0, n_pages)``.  The allocator
-    tracks the free list, per-page refcounts, and the LRU pool of cached
+    tracks the free list, per-page refcounts, and the LRU pool of parked
     refcount-0 pages explicitly so tests can assert conservation invariants
     (no double allocation, no negative refcount, used + reclaimable == total).
     """
 
-    def __init__(self, n_pages: int, on_evict: Optional[Callable[[int], None]] = None):
+    def __init__(self, n_pages: int):
         if n_pages <= 0:
             raise ValueError("n_pages must be positive")
         self.n_pages = n_pages
         self._free: List[int] = list(range(n_pages - 1, -1, -1))
         self._refs: Dict[int, int] = {}
-        # refcount-0 pages whose content is still registered somewhere
-        # (prefix cache); insertion order == least-recently-released first.
+        # refcount-0 pages some policy retains (prefix cache content);
+        # insertion order == least-recently-released first.
         self._cached: "OrderedDict[int, None]" = OrderedDict()
-        self._cacheable: Set[int] = set()
-        self.on_evict = on_evict
+        self._policies: List[EvictionPolicy] = []
         self.evictions = 0
+
+    # ------------------------------------------------------------- policies
+
+    def register(self, policy: EvictionPolicy) -> None:
+        """Attach an eviction policy / lifecycle observer."""
+        if policy in self._policies:
+            raise ValueError("policy is already registered")
+        self._policies.append(policy)
+
+    def unregister(self, policy: EvictionPolicy) -> None:
+        self._policies.remove(policy)
+
+    def _retained(self, page: int) -> bool:
+        return any(policy.retains(page) for policy in self._policies)
+
+    # ------------------------------------------------------------ accounting
 
     @property
     def free_pages(self) -> int:
-        """Reclaimable pages: truly free plus cached-but-unreferenced."""
+        """Reclaimable pages: truly free plus parked-but-unreferenced."""
         return len(self._free) + len(self._cached)
 
     @property
@@ -67,18 +102,23 @@ class PageAllocator:
     def refcount(self, page: int) -> int:
         return self._refs.get(page, 0)
 
+    def is_cached(self, page: int) -> bool:
+        """True for a refcount-0 page parked in the reclaimable LRU pool."""
+        return page in self._cached
+
+    # ------------------------------------------------------------- lifecycle
+
     def _evict_one(self) -> int:
         page, _ = self._cached.popitem(last=False)  # least recently released
-        self._cacheable.discard(page)
         self.evictions += 1
-        if self.on_evict is not None:
-            self.on_evict(page)
+        for policy in self._policies:
+            policy.page_evicted(page)
         return page
 
     def allocate(self) -> int:
         """Take one page (refcount 1); raises :class:`OutOfPagesError` when
         exhausted.  Prefers the free list; falls back to evicting the LRU
-        cached page."""
+        parked page."""
         if self._free:
             page = self._free.pop()
         elif self._cached:
@@ -99,9 +139,9 @@ class PageAllocator:
     def acquire(self, page: int) -> None:
         """Add a reference to a page.
 
-        The page must be live (refcount > 0) or parked in the cached pool —
-        acquiring a cached page resurrects it without touching its content,
-        which is exactly the prefix-cache hit path.
+        The page must be live (refcount > 0) or parked in the reclaimable
+        pool — acquiring a parked page resurrects it without touching its
+        content, which is exactly the prefix-cache hit path.
         """
         if page in self._refs:
             self._refs[page] += 1
@@ -121,55 +161,26 @@ class PageAllocator:
             self._refs[page] = refs - 1
             return
         del self._refs[page]
-        if page in self._cacheable:
+        if self._retained(page):
             self._cached[page] = None  # most recently released -> end of LRU
         else:
             self._free.append(page)
+        for policy in self._policies:
+            policy.page_released(page)
 
     def release_many(self, pages: List[int]) -> None:
         for page in pages:
             self.release(page)
 
-    def mark_cacheable(self, page: int) -> None:
-        """Tag a live page as backing registered cached content: when its
-        refcount drops to zero it parks in the LRU pool instead of being
-        recycled immediately."""
-        if page not in self._refs and page not in self._cached:
-            raise ValueError(f"page {page} is not allocated")
-        self._cacheable.add(page)
+    def reconsider(self, page: int) -> None:
+        """Re-evaluate a parked page after a policy dropped its claim.
 
-    def unmark_cacheable(self, page: int) -> None:
-        """Drop the cacheable tag (the content registration went away).
-
-        A page already parked in the cached pool moves to the free list.
-        Does not fire ``on_evict`` — this is the direction the eviction
-        callback itself uses to unregister content.
+        A parked page no policy retains anymore moves to the free list.
+        This is the explicit-unregistration direction (e.g.
+        :meth:`PrefixCache.forget_page <repro.pages.prefix_cache.PrefixCache.forget_page>`),
+        so it does *not* fire :meth:`EvictionPolicy.page_evicted` — the
+        caller already knows the content registration is gone.
         """
-        self._cacheable.discard(page)
-        if page in self._cached:
+        if page in self._cached and not self._retained(page):
             del self._cached[page]
             self._free.append(page)
-
-    # -- deprecated exclusive-ownership API ---------------------------------
-
-    def free(self, page: int) -> None:
-        """Deprecated: exclusive-ownership free. Use :meth:`release`."""
-        warnings.warn(_FREE_DEPRECATION, DeprecationWarning, stacklevel=2)
-        self._free_exclusive(page)
-
-    def free_many(self, pages: List[int]) -> None:
-        """Deprecated: exclusive-ownership free. Use :meth:`release_many`."""
-        warnings.warn(_FREE_DEPRECATION, DeprecationWarning, stacklevel=2)
-        for page in pages:
-            self._free_exclusive(page)
-
-    def _free_exclusive(self, page: int) -> None:
-        refs = self._refs.get(page)
-        if refs is None:
-            raise ValueError(f"page {page} is not allocated")
-        if refs != 1:
-            raise ValueError(
-                f"page {page} has refcount {refs}; free() requires exclusive "
-                "ownership -- use release()"
-            )
-        self.release(page)

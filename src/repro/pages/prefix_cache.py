@@ -6,10 +6,10 @@ to and including its block (keys chain: block *i*'s key embeds block
 *i-1*'s), so a longest-prefix probe is just successive lookups until the
 first miss.
 
-Pages registered here are marked *cacheable* with the allocator: when
-their refcount drops to zero they park in the allocator's LRU pool
-instead of being recycled, and the allocator calls back into
-:meth:`PrefixCache._evicted` when it reclaims one under pressure — the
+The cache is an :class:`~repro.pages.allocator.EvictionPolicy`: it
+*retains* every page it maps, so when such a page's refcount drops to
+zero the allocator parks it in the LRU pool instead of recycling it, and
+calls :meth:`page_evicted` when it reclaims one under pressure — the
 cache trades capacity for hit rate without ever leaking the pool.
 
 Packed low-bit pages are immutable after ``flush_blocks``, which is what
@@ -21,10 +21,10 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Sequence
 
-from repro.pages.allocator import PageAllocator
+from repro.pages.allocator import EvictionPolicy, PageAllocator
 
 
-class PrefixCache:
+class PrefixCache(EvictionPolicy):
     """Content-key -> physical-page index for flushed packed blocks.
 
     Keys are opaque hashables supplied by the caller; the serving layer
@@ -35,10 +35,8 @@ class PrefixCache:
     """
 
     def __init__(self, allocator: PageAllocator):
-        if allocator.on_evict is not None:
-            raise ValueError("allocator already has an eviction callback")
         self.allocator = allocator
-        allocator.on_evict = self._evicted
+        allocator.register(self)
         self._by_key: Dict[Hashable, int] = {}
         self._by_page: Dict[int, Hashable] = {}
         self.insertions = 0
@@ -79,24 +77,31 @@ class PrefixCache:
         old_key = self._by_page.get(page)
         if old_key is not None:
             # The page was recycled into new content without an eviction
-            # notice (exclusive-ownership path); drop the stale entry.
+            # notice (it went truly free and came back); drop the stale entry.
             del self._by_key[old_key]
         self._by_key[key] = page
         self._by_page[page] = key
-        self.allocator.mark_cacheable(page)
         self.insertions += 1
         return page
 
-    def _evicted(self, page: int) -> None:
-        """Allocator reclaimed a cached page: unregister its content."""
+    # --------------------------------------------------- EvictionPolicy hooks
+
+    def retains(self, page: int) -> bool:
+        """Registered pages park at refcount 0 instead of going free."""
+        return page in self._by_page
+
+    def page_evicted(self, page: int) -> None:
+        """Allocator reclaimed a parked page: unregister its content."""
         key = self._by_page.pop(page, None)
         if key is not None:
             del self._by_key[key]
             self.evictions += 1
+
+    # ----------------------------------------------------------- maintenance
 
     def forget_page(self, page: int) -> None:
         """Explicitly drop a page's registration (content invalidated)."""
         key = self._by_page.pop(page, None)
         if key is not None:
             del self._by_key[key]
-            self.allocator.unmark_cacheable(page)
+            self.allocator.reconsider(page)

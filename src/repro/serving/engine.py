@@ -75,11 +75,12 @@ from repro.attn.protocol import AttentionBackend
 from repro.gpu.arch import ArchSpec
 from repro.model.config import ModelConfig
 from repro.model.inference import AttentionSystem
-from repro.model.memory import CacheFormat, page_pool_size
+from repro.model.memory import CacheFormat, MemoryTierModel, page_bytes, page_pool_size
 from repro.model.serving import ServingOOMError
 from repro.pages.allocator import OutOfPagesError, PageAllocator
 from repro.pages.page_table import PageTable
 from repro.pages.prefix_cache import PrefixCache
+from repro.pages.tiers import TieredPageStore
 from repro.serving.report import ServingReport
 from repro.serving.request import Phase, Request, RequestLifecycle, prefix_block_keys
 
@@ -140,8 +141,52 @@ class EngineConfig:
     #: The schedule and every decode output must be bit-identical to the
     #: shared run — which is how the sharing machinery is validated.
     prefix_share: bool = True
+    #: What happens when pages run out: ``"recompute"`` releases the
+    #: victim's pages and replays its prefill on re-admission (the 0.2
+    #: behaviour); ``"swap"`` demotes the victim's pages to the host tier
+    #: and promotes them back on resume — no recompute, bit-identical KV.
+    preemption: str = "recompute"
+    #: Tier geometry of a ``preemption="swap"`` run: the device tier holds
+    #: ``device_pages`` frames, backed by ``host_pages`` (+ modeled
+    #: ``disk_pages``).  The allocator pool spans the *total*, so admission
+    #: can accept aggregate context beyond device capacity; only the
+    #: decode working set must fit the device tier at once.
+    device_pages: Optional[int] = None
+    host_pages: Optional[int] = None
+    disk_pages: int = 0
+    #: PCIe/NVMe bandwidth model pricing page migration (defaults used
+    #: when None).
+    tier_model: Optional[MemoryTierModel] = None
+
+    @property
+    def tiered(self) -> bool:
+        return self.preemption == "swap"
 
     def __post_init__(self) -> None:
+        if self.preemption not in ("recompute", "swap"):
+            raise ValueError('preemption must be "recompute" or "swap"')
+        if self.preemption == "swap":
+            if self.device_pages is None or self.device_pages <= 0:
+                raise ValueError('preemption="swap" needs a positive device_pages')
+            if self.host_pages is None or self.host_pages <= 0:
+                raise ValueError('preemption="swap" needs a positive host_pages')
+            if self.disk_pages < 0:
+                raise ValueError("disk_pages must be non-negative")
+            if self.n_pages is not None:
+                raise ValueError(
+                    "n_pages is derived (device + host + disk) under "
+                    'preemption="swap"; set the tier sizes instead'
+                )
+        elif (
+            self.device_pages is not None
+            or self.host_pages is not None
+            or self.disk_pages
+            or self.tier_model is not None
+        ):
+            raise ValueError(
+                'tier geometry (device/host/disk pages, tier_model) requires '
+                'preemption="swap"'
+            )
         if not self.prefix_share and not self.prefix_cache:
             raise ValueError("prefix_share=False only modifies a prefix_cache=True run")
         if self.page_size <= 0:
@@ -173,7 +218,7 @@ class EngineConfig:
                     "execute=True shares the scheduler's page table with the "
                     "numerics, which only the paged-bit backend supports"
                 )
-            if self.n_pages is None:
+            if self.n_pages is None and not self.tiered:
                 raise ValueError(
                     "execute=True needs an explicit n_pages: the runner "
                     "allocates real per-layer pools for every page, so a "
@@ -193,7 +238,9 @@ class ContinuousBatchingEngine:
     def __init__(self, config: EngineConfig, requests: Sequence[Request]):
         self.config = config
         n_pages = config.n_pages
-        if n_pages is None:
+        if config.tiered:
+            n_pages = config.device_pages + config.host_pages + config.disk_pages
+        elif n_pages is None:
             n_pages = page_pool_size(
                 config.model,
                 config.arch,
@@ -210,6 +257,19 @@ class ContinuousBatchingEngine:
         self.n_pages = n_pages
         self.allocator = PageAllocator(n_pages)
         self.table = PageTable(self.allocator, page_size=config.page_size)
+        self.tiers: Optional[TieredPageStore] = None
+        if config.tiered:
+            self.tiers = TieredPageStore(
+                self.allocator,
+                config.device_pages,
+                config.host_pages,
+                config.disk_pages,
+                page_nbytes=page_bytes(config.model, config.fmt, config.page_size),
+                model=config.tier_model,
+            )
+        #: Pages the decode working set must fit at once (whole pool when
+        #: untiered).
+        self.device_pages = config.device_pages if config.tiered else n_pages
         self.prefix_cache: Optional[PrefixCache] = (
             PrefixCache(self.allocator) if config.prefix_cache else None
         )
@@ -227,6 +287,7 @@ class ContinuousBatchingEngine:
                 self.table,
                 n_slots=config.max_batch,
                 seed=config.execute_seed,
+                tiers=self.tiers,
             )
         self.lifecycles: List[RequestLifecycle] = [
             RequestLifecycle(r)
@@ -234,6 +295,13 @@ class ContinuousBatchingEngine:
         ]
         self._queue: Deque[RequestLifecycle] = deque()
         self._running: List[RequestLifecycle] = []
+        #: Swap-preempted sequences: pages still mapped (demoted off the
+        #: device tier), resumed FCFS when the device working set fits.
+        self._swapped: Deque[RequestLifecycle] = deque()
+        self._swap_outs = 0
+        self._swap_ins = 0
+        self._stall_s = 0.0
+        self._overlapped_s = 0.0
         self._clock = 0.0
         self._steps = 0
         self._prefill_steps = 0
@@ -255,8 +323,10 @@ class ContinuousBatchingEngine:
 
     def _reject_impossible(self, head: RequestLifecycle) -> bool:
         """Reject a request that could never finish with the pool to itself;
-        admitting it would only preempt-thrash."""
-        if self._pages_needed(head.request.total_len) > self.n_pages:
+        admitting it would only preempt-thrash.  Under swap preemption the
+        binding constraint is the *device* tier: a sequence's own decode
+        working set (all its pages) must be device-resident at once."""
+        if self._pages_needed(head.request.total_len) > min(self.n_pages, self.device_pages):
             head.rejected = True
             self._queue.popleft()
             return True
@@ -300,9 +370,7 @@ class ContinuousBatchingEngine:
         words, so the numerics are identical while nothing is shared.
         """
         share = self.config.prefix_share
-        head.seq_id = self.table.add_sequence(
-            initial, shared_pages=hit_pages if share else None
-        )
+        head.seq_id = self.table.add_sequence(initial, shared_pages=hit_pages if share else None)
         head.cached_tokens = len(hit_pages) * self.config.page_size
         head.registered_blocks = 0
         self._prefix_probe_tokens += head.context_len if self.prefix_cache else 0
@@ -311,9 +379,7 @@ class ContinuousBatchingEngine:
         if head.admitted_s is None:
             head.admitted_s = self._clock
         if self._runner is not None:
-            self._runner.on_admit(
-                head, copy_from=None if share or not hit_pages else hit_pages
-            )
+            self._runner.on_admit(head, copy_from=None if share or not hit_pages else hit_pages)
 
     def _register_prefix(self, lc: RequestLifecycle) -> None:
         """Register newly prefilled page-aligned blocks with the cache.
@@ -424,6 +490,78 @@ class ContinuousBatchingEngine:
         # admitted sequence always completes.
         self._queue.appendleft(victim)
 
+    # --------------------------------------------------------- swap preemption
+
+    def _decode_working_pages(self) -> int:
+        """Device pages the next decode step needs resident at once: every
+        decode-ready sequence's pages after its one-token grow."""
+        return sum(
+            self._pages_needed(lc.context_len + 1)
+            for lc in self._running
+            if lc.seq_id is not None and lc.prefill_done
+        )
+
+    def _swap_out(self, victim: RequestLifecycle) -> None:
+        """Demote a decode-ready sequence's pages off the device tier.
+
+        Unlike :meth:`_preempt` nothing is released or requeued: the page
+        table keeps the sequence mapped (the allocator still counts its
+        pages used), the tier store moves the physical content to host
+        frames (priced d2h), and the runner stashes only the FP16 residual
+        rows that live outside the pages.
+        """
+        assert self.tiers is not None and victim.seq_id is not None
+        if self._runner is not None:
+            self._runner.on_swap_out(victim)
+        self.tiers.demote(self.table.sequences[victim.seq_id].pages)
+        self._running.remove(victim)
+        self._swapped.append(victim)
+        self._swap_outs += 1
+
+    def _resume_swapped(self) -> None:
+        """Promote swapped sequences back, FCFS, while their working set
+        fits the device tier next to the resident decoders'."""
+        assert self.tiers is not None
+        while self._swapped and len(self._running) < self.config.max_batch:
+            cand = self._swapped[0]
+            need = self._pages_needed(cand.context_len + 1)
+            if self._decode_working_pages() + need > self.device_pages:
+                break
+            self._swapped.popleft()
+            if self._runner is not None:
+                self._runner.on_swap_in(cand)
+            # Promotion rides ahead of the step's compute (overlappable);
+            # anything the model still misses faults in the measured path.
+            self.tiers.ensure_resident(self.table.sequences[cand.seq_id].pages, prefetch=True)
+            self._running.append(cand)
+            self._swap_ins += 1
+
+    def _swap_out_overflow(self) -> None:
+        """Shrink the decode working set to device capacity by swapping out
+        the most recently admitted decode-ready sequences (mirroring the
+        recompute victim order).  At least one decoder always stays — a
+        single sequence is guaranteed to fit by admission-time rejection."""
+        assert self.tiers is not None
+        while self._decode_working_pages() > self.device_pages:
+            ready = [lc for lc in self._running if lc.seq_id is not None and lc.prefill_done]
+            if len(ready) <= 1:
+                break
+            self._swap_out(ready[-1])
+
+    def _charge_step(self, step_s: float) -> float:
+        """Price a step's tier traffic on top of its compute time.
+
+        Synchronous faults stall in full; prefetched/demoted transfers
+        overlap the compute and only their overhang surfaces.
+        """
+        if self.tiers is None:
+            return step_s
+        stall_s = self.tiers.step_fault_ms * 1e-3
+        prefetch_s = self.tiers.step_prefetch_ms * 1e-3
+        self._stall_s += stall_s
+        self._overlapped_s += min(prefetch_s, step_s)
+        return step_s + stall_s + max(0.0, prefetch_s - step_s)
+
     def _grow(self, lc: RequestLifecycle) -> bool:
         """Make room for one more token; False if ``lc`` itself got evicted."""
         return self._extend(lc, 1)
@@ -505,6 +643,13 @@ class ContinuousBatchingEngine:
             self._grow(lc)
         if not self._running:
             return
+        if self.tiers is not None:
+            # Residency walk in decode order: the first sequence's cold
+            # pages fault (nothing to hide behind), every later sequence's
+            # pages are prefetched under the preceding tile walks.
+            live = [lc for lc in self._running if lc.seq_id is not None]
+            for i, lc in enumerate(live):
+                self.tiers.ensure_resident(self.table.sequences[lc.seq_id].pages, prefetch=i > 0)
         if self._runner is not None:
             for lc in self._running:
                 if lc.seq_id is not None:
@@ -515,7 +660,7 @@ class ContinuousBatchingEngine:
             self.backend.decode_step_ms(cfg.model, cfg.arch, batch, seq_len, cfg.n_gpus)
             * 1e-3
         )
-        self._clock += step_s
+        self._clock += self._charge_step(step_s)
         self._decode_steps += 1
         self._peak_resident = max(self._peak_resident, batch)
         self._emit_tokens(list(self._running))
@@ -537,6 +682,9 @@ class ContinuousBatchingEngine:
         decoders = [lc for lc in decode_ready if lc.seq_id is not None]
         if not chunks and not decoders:
             return
+        if self.tiers is not None:
+            for i, lc in enumerate(decoders):
+                self.tiers.ensure_resident(self.table.sequences[lc.seq_id].pages, prefetch=i > 0)
         if self._runner is not None:
             for lc in decoders:
                 self._runner.decode(lc)
@@ -546,7 +694,7 @@ class ContinuousBatchingEngine:
             self.backend.mixed_step_ms(cfg.model, cfg.arch, batch, seq_len, chunks, cfg.n_gpus)
             * 1e-3
         )
-        self._clock += step_s
+        self._clock += self._charge_step(step_s)
         if chunks:
             self._prefill_steps += 1
         if decoders:
@@ -568,7 +716,7 @@ class ContinuousBatchingEngine:
         peak the report surfaces as effective extra capacity.
         """
         mapped: dict = {}
-        for lc in self._running:
+        for lc in list(self._running) + list(self._swapped):
             if lc.seq_id is None:
                 continue
             for page in self.table.sequences[lc.seq_id].pages:
@@ -598,7 +746,7 @@ class ContinuousBatchingEngine:
         while True:
             while pending and pending[0].request.arrival_s <= self._clock:
                 self._queue.append(pending.popleft())
-            if not self._queue and not self._running:
+            if not self._queue and not self._running and not self._swapped:
                 if not pending:
                     break
                 self._clock = pending[0].request.arrival_s
@@ -606,11 +754,18 @@ class ContinuousBatchingEngine:
             if self.config.max_steps is not None and self._steps >= self.config.max_steps:
                 break
             self._steps += 1
+            if self.tiers is not None:
+                self.tiers.start_step()
+                self._resume_swapped()
             if chunked:
                 self._admit_chunked()
+                if self.tiers is not None:
+                    self._swap_out_overflow()
                 self._mixed_step()
             else:
                 self._admit()
+                if self.tiers is not None:
+                    self._swap_out_overflow()
                 self._decode()
             self._assert_conservation()
         return self._report()
@@ -647,6 +802,18 @@ class ContinuousBatchingEngine:
             prefix_reclaimed_pages=self._prefix_reclaimed_pages,
             prefix_evictions=self.allocator.evictions,
             shared_pages_peak=self._shared_pages_peak,
+            preemption=self.config.preemption,
+            device_pages=self.device_pages,
+            host_pages=self.config.host_pages or 0,
+            disk_pages=self.config.disk_pages,
+            swap_outs=self._swap_outs,
+            swap_ins=self._swap_ins,
+            offload_h2d_bytes=self.tiers.h2d_bytes if self.tiers else 0,
+            offload_d2h_bytes=self.tiers.d2h_bytes if self.tiers else 0,
+            offload_disk_bytes=self.tiers.disk_bytes if self.tiers else 0,
+            offload_faults=self.tiers.faults if self.tiers else 0,
+            offload_stall_s=self._stall_s,
+            offload_overlapped_s=self._overlapped_s,
         )
 
 

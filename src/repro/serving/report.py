@@ -79,6 +79,26 @@ class ServingReport:
     #: peak concurrent sharing saving.  Equals ``n_pages`` when nothing
     #: was ever shared.
     effective_capacity_pages: int = 0
+    #: Preemption discipline the run used ("recompute" or "swap").
+    preemption: str = "recompute"
+    #: Tier geometry of a swap run; a recompute run reports the whole pool
+    #: as the device tier and zero host/disk.
+    device_pages: int = 0
+    host_pages: int = 0
+    disk_pages: int = 0
+    #: Sequences demoted to the host tier (swap preemption) / promoted back.
+    swap_outs: int = 0
+    swap_ins: int = 0
+    #: Cumulative migration traffic of the tier store.
+    offload_h2d_bytes: int = 0
+    offload_d2h_bytes: int = 0
+    offload_disk_bytes: int = 0
+    #: Pages fetched synchronously because compute touched them cold.
+    offload_faults: int = 0
+    #: Stall seconds the faults added to the clock (never overlapped).
+    offload_stall_s: float = 0.0
+    #: Prefetch/demote transfer seconds hidden under compute.
+    offload_overlapped_s: float = 0.0
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -114,6 +134,18 @@ class ServingReport:
         prefix_evictions: int = 0,
         shared_pages_peak: int = 0,
         effective_capacity_pages: Optional[int] = None,
+        preemption: str = "recompute",
+        device_pages: Optional[int] = None,
+        host_pages: int = 0,
+        disk_pages: int = 0,
+        swap_outs: int = 0,
+        swap_ins: int = 0,
+        offload_h2d_bytes: int = 0,
+        offload_d2h_bytes: int = 0,
+        offload_disk_bytes: int = 0,
+        offload_faults: int = 0,
+        offload_stall_s: float = 0.0,
+        offload_overlapped_s: float = 0.0,
     ) -> "ServingReport":
         sustained = total_generated_tokens / sim_time_s if sim_time_s > 0 else 0.0
         return cls(
@@ -151,6 +183,18 @@ class ServingReport:
                 if effective_capacity_pages is None
                 else effective_capacity_pages
             ),
+            preemption=preemption,
+            device_pages=n_pages if device_pages is None else device_pages,
+            host_pages=host_pages,
+            disk_pages=disk_pages,
+            swap_outs=swap_outs,
+            swap_ins=swap_ins,
+            offload_h2d_bytes=offload_h2d_bytes,
+            offload_d2h_bytes=offload_d2h_bytes,
+            offload_disk_bytes=offload_disk_bytes,
+            offload_faults=offload_faults,
+            offload_stall_s=offload_stall_s,
+            offload_overlapped_s=offload_overlapped_s,
         )
 
     def to_dict(self) -> dict:

@@ -95,21 +95,27 @@ class TestHandles:
         assert handle.store.table.allocator.used_pages == 3  # ceil(70/32)
 
 
-class TestDeprecationShims:
-    def test_repro_core_bitdecoding_warns(self):
+class TestShimsRemoved:
+    """The 0.2-era ``BitDecoding``/``BitKVCache`` re-exports are gone in 0.4:
+    the classes live in ``repro.core.attention`` / the engine cache modules."""
+
+    def test_repro_core_reexports_removed(self):
         import repro.core
 
-        with pytest.warns(DeprecationWarning, match="repro.attn"):
+        with pytest.raises(AttributeError):
             repro.core.BitDecoding
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(AttributeError):
             repro.core.BitKVCache
+        assert "BitDecoding" not in repro.core.__all__
 
-    def test_shim_resolves_the_real_class(self):
-        import repro.core
-        from repro.core.attention import BitDecoding
+    def test_repro_reexports_removed(self):
+        import repro
 
-        with pytest.warns(DeprecationWarning):
-            assert repro.core.BitDecoding is BitDecoding
+        with pytest.raises(AttributeError):
+            repro.BitDecoding
+        with pytest.raises(AttributeError):
+            repro.BitKVCache
+        assert "BitKVCache" not in repro.__all__
 
     def test_unknown_core_attribute_still_raises(self):
         import repro.core

@@ -4,7 +4,26 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.pages.allocator import OutOfPagesError, PageAllocator
+from repro.pages.allocator import EvictionPolicy, OutOfPagesError, PageAllocator
+
+
+class _RetainSet(EvictionPolicy):
+    """Test policy: retains an explicit page set, records hook firings."""
+
+    def __init__(self, pages=()):
+        self.pages = set(pages)
+        self.released = []
+        self.evicted = []
+
+    def retains(self, page):
+        return page in self.pages
+
+    def page_released(self, page):
+        self.released.append(page)
+
+    def page_evicted(self, page):
+        self.evicted.append(page)
+        self.pages.discard(page)
 
 
 class TestAllocator:
@@ -93,77 +112,102 @@ class TestRefcounts:
         assert alloc.free_pages == 4
 
 
-class TestCachedPages:
-    def test_cached_page_resurrected_by_acquire(self):
+class TestEvictionPolicy:
+    def test_retained_page_parks_and_resurrects(self):
         alloc = PageAllocator(2)
         page = alloc.allocate()
-        alloc.mark_cacheable(page)
+        alloc.register(_RetainSet([page]))
         alloc.release(page)
         assert alloc.cached_pages == 1
+        assert alloc.is_cached(page)
         assert alloc.free_pages == 2  # cached counts as reclaimable
         alloc.acquire(page)
         assert alloc.refcount(page) == 1
         assert alloc.cached_pages == 0
 
-    def test_eviction_is_lru_and_fires_callback(self):
-        evicted = []
-        alloc = PageAllocator(3, on_evict=evicted.append)
+    def test_eviction_is_lru_and_fires_hook(self):
+        alloc = PageAllocator(3)
         pages = alloc.allocate_many(3)
-        for p in pages:
-            alloc.mark_cacheable(p)
-        # Release in order a, b, c -> a is least recently cached.
+        policy = _RetainSet(pages)
+        alloc.register(policy)
+        # Release in order a, b, c -> a is least recently released.
         for p in pages:
             alloc.release(p)
         # Pool has no truly-free pages; allocation must evict pages[0] first.
         got = alloc.allocate()
         assert got == pages[0]
-        assert evicted == [pages[0]]
+        assert policy.evicted == [pages[0]]
         assert alloc.evictions == 1
 
-    def test_unmark_cacheable_skips_callback(self):
-        evicted = []
-        alloc = PageAllocator(1, on_evict=evicted.append)
+    def test_page_released_fires_for_every_policy(self):
+        alloc = PageAllocator(2)
+        a, b = _RetainSet(), _RetainSet()
+        alloc.register(a)
+        alloc.register(b)
         page = alloc.allocate()
-        alloc.mark_cacheable(page)
         alloc.release(page)
-        alloc.unmark_cacheable(page)
+        assert a.released == [page] and b.released == [page]
+        assert alloc.cached_pages == 0  # neither policy retains it
+
+    def test_reconsider_frees_unretained_without_hook(self):
+        alloc = PageAllocator(1)
+        page = alloc.allocate()
+        policy = _RetainSet([page])
+        alloc.register(policy)
+        alloc.release(page)
+        assert alloc.is_cached(page)
+        policy.pages.discard(page)
+        alloc.reconsider(page)
         assert alloc.cached_pages == 0
-        assert evicted == []
+        assert policy.evicted == []
         # Page is plain-free again.
         assert alloc.allocate() == page
+
+    def test_any_retaining_policy_parks(self):
+        alloc = PageAllocator(2)
+        page = alloc.allocate()
+        alloc.register(_RetainSet())  # retains nothing
+        alloc.register(_RetainSet([page]))
+        alloc.release(page)
+        assert alloc.is_cached(page)
+
+    def test_double_register_rejected(self):
+        alloc = PageAllocator(2)
+        policy = _RetainSet()
+        alloc.register(policy)
+        with pytest.raises(ValueError):
+            alloc.register(policy)
+
+    def test_unregister_stops_retention(self):
+        alloc = PageAllocator(2)
+        page = alloc.allocate()
+        policy = _RetainSet([page])
+        alloc.register(policy)
+        alloc.unregister(policy)
+        alloc.release(page)
+        assert alloc.cached_pages == 0
 
     def test_cached_page_not_double_counted(self):
         alloc = PageAllocator(2)
         page = alloc.allocate()
-        alloc.mark_cacheable(page)
+        alloc.register(_RetainSet([page]))
         alloc.release(page)
         assert alloc.free_pages + alloc.used_pages == 2
 
 
-class TestDeprecatedFree:
-    def test_free_warns_and_releases(self):
-        alloc = PageAllocator(2)
-        page = alloc.allocate()
-        with pytest.warns(DeprecationWarning, match="release"):
-            alloc.free(page)
-        assert alloc.free_pages == 2
+class TestRemovedShims:
+    """The 0.2-era exclusive-ownership / cacheable shims are gone in 0.4."""
 
-    def test_free_many_warns(self):
-        alloc = PageAllocator(4)
-        pages = alloc.allocate_many(2)
-        with pytest.warns(DeprecationWarning, match="release"):
-            alloc.free_many(pages)
-        assert alloc.free_pages == 4
+    def test_free_removed(self):
+        assert not hasattr(PageAllocator(2), "free")
+        assert not hasattr(PageAllocator(2), "free_many")
 
-    def test_free_rejects_shared_page(self):
+    def test_cacheable_trio_removed(self):
         alloc = PageAllocator(2)
-        page = alloc.allocate()
-        alloc.acquire(page)
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError):
-                alloc.free(page)
-        # Refcount must be untouched by the failed free.
-        assert alloc.refcount(page) == 2
+        assert not hasattr(alloc, "mark_cacheable")
+        assert not hasattr(alloc, "unmark_cacheable")
+        with pytest.raises(TypeError):
+            PageAllocator(2, on_evict=lambda p: None)
 
 
 class TestConservationProperty:

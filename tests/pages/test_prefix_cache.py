@@ -48,10 +48,14 @@ class TestInsertLookup:
         assert cache.lookup(("old",)) is None
         assert cache.lookup(("new",)) == page
 
-    def test_rejects_allocator_with_callback(self):
-        alloc = PageAllocator(4, on_evict=lambda p: None)
+    def test_registers_as_eviction_policy(self):
+        alloc, cache = _cache()
+        page = alloc.allocate()
+        cache.insert(("p", 0), page)
+        assert cache.retains(page)
+        # Registering the same cache twice is a policy-protocol violation.
         with pytest.raises(ValueError):
-            PrefixCache(alloc)
+            alloc.register(cache)
 
 
 class TestMatch:

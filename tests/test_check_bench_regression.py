@@ -148,6 +148,56 @@ class TestCompareKernels:
         assert checker.compare_kernels(baseline["kernels"], baseline["kernels"]) == []
 
 
+def _offload_point(swap=110.0, recompute=100.0, swap_outs=12):
+    return {
+        "tokens_per_s_swap": swap,
+        "tokens_per_s_recompute": recompute,
+        "swap_speedup": swap / recompute if recompute else 0.0,
+        "swap_outs": swap_outs,
+        "offload_stall_s": 0.001,
+    }
+
+
+class TestCompareOffload:
+    def test_healthy_point_passes(self):
+        checker = _load_checker()
+        assert checker.compare_offload(_offload_point(), _offload_point()) == []
+
+    def test_swap_not_strictly_above_recompute_fails(self):
+        checker = _load_checker()
+        failures = checker.compare_offload(_offload_point(swap=100.0, recompute=100.0))
+        assert len(failures) == 1
+        assert "not strictly above" in failures[0]
+
+    def test_no_swaps_means_no_pressure_fails(self):
+        """An over-capacity trace that never swapped is a broken discipline,
+        even if the throughput numbers happen to look fine."""
+        checker = _load_checker()
+        failures = checker.compare_offload(_offload_point(swap_outs=0))
+        assert len(failures) == 1
+        assert "never swapped" in failures[0]
+
+    def test_floor_reads_from_baseline_explicit_arg_wins(self):
+        checker = _load_checker()
+        point = _offload_point(swap=101.0, recompute=100.0)  # 1.01x
+        strict = dict(_offload_point(), floors={"min_swap_speedup": 1.05})
+        failures = checker.compare_offload(point, strict)
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+        assert checker.compare_offload(point, strict, min_speedup=1.0) == []
+
+    def test_missing_fields_fail_not_crash(self):
+        checker = _load_checker()
+        failures = checker.compare_offload({})
+        assert failures  # no swaps + no throughput, but never a traceback
+
+    def test_committed_offload_baseline_is_gated_shape(self):
+        """The baseline's offload entry must itself pass its own floors."""
+        checker = _load_checker()
+        baseline = json.loads((REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+        assert checker.compare_offload(baseline["offload"], baseline["offload"]) == []
+
+
 class TestCli:
     def _run(self, tmp_path, current, baseline, *extra):
         cur = tmp_path / "current.json"
@@ -187,6 +237,26 @@ class TestCli:
             tmp_path, copy.deepcopy(baseline), baseline_with_kernels, "--kernels", str(kern)
         )
         assert result.returncode == 0
+
+    def test_offload_section_mandatory_once_baselined(self, tmp_path, baseline):
+        baseline_with_offload = copy.deepcopy(baseline)
+        baseline_with_offload["offload"] = _offload_point()
+        result = self._run(tmp_path, copy.deepcopy(baseline), baseline_with_offload)
+        assert result.returncode == 1
+        assert "offload: missing" in result.stdout
+        current = copy.deepcopy(baseline)
+        current["offload"] = _offload_point()
+        result = self._run(tmp_path, current, baseline_with_offload)
+        assert result.returncode == 0
+
+    def test_min_offload_speedup_flag_plumbs_through(self, tmp_path, baseline):
+        current = copy.deepcopy(baseline)
+        current["offload"] = _offload_point(swap=102.0, recompute=100.0)  # 1.02x
+        result = self._run(
+            tmp_path, current, copy.deepcopy(baseline), "--min-offload-speedup", "1.5"
+        )
+        assert result.returncode == 1
+        assert "floor" in result.stdout
 
     def test_committed_baseline_matches_engine_output(self):
         """A fresh deterministic run must pass the gate against the
