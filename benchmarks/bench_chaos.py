@@ -1,0 +1,197 @@
+"""Fault injection under deadline pressure: what recovery costs in goodput.
+
+The robustness argument: on the committed chaos plan (seeded transfer
+faults, lost pages, corruption, latency spikes and slow steps over the
+swap-tiered INT4 stack, with a per-request deadline), the engine must
+recover *everything it keeps* — zero FAILED requests, every lost or
+corrupt page healed by bit-exact replay — and the goodput it still
+delivers must stay a bounded fraction of the fault-free run's throughput.
+This benchmark executes the same seeded trace twice — once under the
+demo fault plan with a deadline policy, once fault-free best-effort —
+and emits the gated point.
+
+Fast mode (CI smoke): ``SERVING_BENCH_FAST=1 pytest benchmarks/bench_chaos.py``.
+
+CI's bench job runs this module as a script to merge the point into the
+serving benchmark file::
+
+    python benchmarks/bench_chaos.py --fast --out BENCH_serving.json
+
+which adds a ``chaos`` section that ``scripts/check_bench_regression.py``
+gates against the committed ``benchmarks/baseline.json`` (zero failed
+requests, goodput ratio at or above the floor).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.attn import PagedBitBackend
+from repro.bench.results import write_run
+from repro.core.attention import BitDecoding
+from repro.core.config import BitDecodingConfig
+from repro.faults import demo_fault_spec
+from repro.gpu.arch import get_arch
+from repro.model.config import TINY
+from repro.model.memory import int_format
+from repro.serving import (
+    ContinuousBatchingEngine,
+    DeadlinePolicy,
+    EngineConfig,
+    poisson_trace,
+)
+
+FAST = os.environ.get("SERVING_BENCH_FAST", "") not in ("", "0")
+
+KERNEL_CONFIG = BitDecodingConfig(bits=4, wn=1)  # N_r = 32
+NR = KERNEL_CONFIG.residual_block_size
+
+#: The committed demo plan: seed, tier geometry, batch cap and deadline
+#: are tuned together so the plan actually exercises a retry, a heal and
+#: a shed while recovery still succeeds for everything that stays.
+CHAOS_SEED = 7
+DEVICE_PAGES, HOST_PAGES = 8, 28
+MAX_BATCH = 3
+DEADLINE_MS = 6.0
+AUDIT_EVERY = 10
+TRACE = dict(n_requests=8, rate_rps=100000.0, prompt_len=40, output_len=60, seed=3)
+
+
+def bench_trace():
+    """Near-simultaneous arrivals, identical on every machine."""
+    return poisson_trace(**TRACE)
+
+
+def run_chaos_bench(fast=False):
+    """Chaos vs fault-free on the committed plan, summarized as the gated point."""
+    arch = get_arch("a100")
+    common = dict(
+        model=TINY,
+        arch=arch,
+        fmt=int_format(4, TINY, residual_window=NR),
+        page_size=NR,
+        max_batch=MAX_BATCH,
+        execute=True,
+        preemption="swap",
+        device_pages=DEVICE_PAGES,
+        host_pages=HOST_PAGES,
+    )
+    chaos = ContinuousBatchingEngine(
+        EngineConfig(
+            backend=PagedBitBackend(BitDecoding(KERNEL_CONFIG, arch)),
+            faults=demo_fault_spec(CHAOS_SEED),
+            deadline_policy=DeadlinePolicy(default_deadline_s=DEADLINE_MS * 1e-3),
+            audit_every=AUDIT_EVERY,
+            **common,
+        ),
+        bench_trace(),
+    ).run()
+    fault_free = ContinuousBatchingEngine(
+        EngineConfig(
+            backend=PagedBitBackend(BitDecoding(KERNEL_CONFIG, arch)), **common
+        ),
+        bench_trace(),
+    ).run()
+    # Fault-free best-effort means every token is goodput; the ratio is
+    # "what fraction of a healthy machine's useful throughput survives
+    # the committed fault plan plus its deadline discipline".
+    goodput_ratio = (
+        chaos.goodput_tokens_per_s / fault_free.sustained_tokens_per_s
+        if fault_free.sustained_tokens_per_s
+        else 0.0
+    )
+    return {
+        "model": TINY.name,
+        "arch": arch.name,
+        "fast_mode": fast,
+        "chaos_seed": CHAOS_SEED,
+        "deadline_ms": DEADLINE_MS,
+        "device_pages": DEVICE_PAGES,
+        "host_pages": HOST_PAGES,
+        "max_batch": MAX_BATCH,
+        **{k: v for k, v in TRACE.items() if k != "rate_rps"},
+        "rate_rps": TRACE["rate_rps"],
+        "goodput_tokens_per_s": chaos.goodput_tokens_per_s,
+        "tokens_per_s_fault_free": fault_free.sustained_tokens_per_s,
+        "goodput_ratio": goodput_ratio,
+        "transfer_retries": chaos.transfer_retries,
+        "retry_backoff_s": chaos.retry_backoff_s,
+        "lost_pages": chaos.lost_pages,
+        "checksum_failures": chaos.checksum_failures,
+        "healed_pages": chaos.healed_pages,
+        "healed_requests": chaos.healed_requests,
+        "slow_steps": chaos.slow_steps,
+        "shed": chaos.shed,
+        "timed_out": chaos.timed_out,
+        "failed": chaos.failed,
+        "completed": chaos.completed,
+        "deadline_met": chaos.deadline_met,
+        "audits": chaos.audits,
+        "report_chaos": chaos.to_dict(),
+        "report_fault_free": fault_free.to_dict(),
+    }
+
+
+def test_chaos_serving_point(run):
+    point = run(run_chaos_bench, FAST)
+    print(json.dumps({k: v for k, v in point.items() if not k.startswith("report_")}, indent=2))
+    # The gate's qualitative shape: the plan bites, recovery holds.
+    assert point["transfer_retries"] >= 1
+    assert point["healed_pages"] >= 1
+    assert point["shed"] >= 1
+    assert point["failed"] == 0
+    assert point["goodput_ratio"] > 0.0
+    # Everything the chaos run finished, it finished for real.
+    chaos = point["report_chaos"]
+    assert chaos["executed_tokens"] == chaos["total_generated_tokens"]
+    assert point["report_fault_free"]["completed"] == TRACE["n_requests"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="Emit the chaos-recovery benchmark point")
+    parser.add_argument("--fast", action="store_true", default=FAST)
+    parser.add_argument(
+        "--out",
+        default="BENCH_serving.json",
+        help="serving benchmark file to merge the 'chaos' section into "
+        "(created if missing)",
+    )
+    args = parser.parse_args(argv)
+    point = run_chaos_bench(fast=args.fast)
+    summary = {}
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            summary = json.load(fh)
+    existing = summary.get("chaos") or {}
+    # A committed baseline may pin gate floors; merging must keep them.
+    if "floors" in existing:
+        point["floors"] = existing["floors"]
+    summary["chaos"] = point
+    with open(args.out, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    config = {
+        "bench": "chaos",
+        "fast": args.fast,
+        "chaos_seed": CHAOS_SEED,
+        "deadline_ms": DEADLINE_MS,
+        "audit_every": AUDIT_EVERY,
+        "device_pages": DEVICE_PAGES,
+        "host_pages": HOST_PAGES,
+        "max_batch": MAX_BATCH,
+        "trace": TRACE,
+    }
+    run_dir = write_run("chaos", config, point)
+    print(
+        f"chaos: goodput {point['goodput_tokens_per_s']:.1f} tok/s vs fault-free "
+        f"{point['tokens_per_s_fault_free']:.1f} ({point['goodput_ratio']:.3f}x); "
+        f"{point['transfer_retries']} retries, {point['healed_pages']} healed, "
+        f"{point['shed']} shed, {point['failed']} failed"
+    )
+    print(f"wrote {args.out} and {run_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

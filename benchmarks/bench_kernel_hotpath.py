@@ -47,6 +47,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
+from repro.bench.results import write_run  # noqa: E402
 from repro.core.attention import BitDecoding, BitKVCache  # noqa: E402
 from repro.core.config import BitDecodingConfig  # noqa: E402
 from repro.model.transformer import TinyTransformer  # noqa: E402
@@ -283,7 +284,17 @@ def main(argv=None):
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(result, fh, indent=2)
-        print(f"wrote {args.out}")
+        run_dir = write_run(
+            "kernels",
+            {
+                "bench": "kernels",
+                "geometry": result.get("geometry"),
+                "steps": args.steps,
+                "transformer": not args.skip_transformer,
+            },
+            result,
+        )
+        print(f"wrote {args.out} and {run_dir}/")
     return 0
 
 

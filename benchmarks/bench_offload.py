@@ -27,6 +27,7 @@ import os
 import sys
 
 from repro.attn import PagedBitBackend
+from repro.bench.results import write_run
 from repro.core.attention import BitDecoding
 from repro.core.config import BitDecodingConfig
 from repro.gpu.arch import get_arch
@@ -162,13 +163,28 @@ def main(argv=None):
     with open(args.out, "w") as fh:
         json.dump(summary, fh, indent=2)
         fh.write("\n")
+    n_requests, prompt_len, output_len, host_pages = _geometry(args.fast)
+    run_dir = write_run(
+        "offload",
+        {
+            "bench": "offload",
+            "fast": args.fast,
+            "trace_seed": 3,
+            "requests": n_requests,
+            "prompt_len": prompt_len,
+            "output_len": output_len,
+            "device_pages": DEVICE_PAGES,
+            "host_pages": host_pages,
+        },
+        point,
+    )
     print(
         f"offload: swap {point['tokens_per_s_swap']:.1f} tok/s vs recompute "
         f"{point['tokens_per_s_recompute']:.1f} ({point['swap_speedup']:.3f}x) "
         f"on {point['device_pages']} device pages; "
         f"{point['swap_outs']} swap-outs, {point['offload_faults']} faults"
     )
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} and {run_dir}/")
     return 0
 
 

@@ -25,6 +25,7 @@ import json
 import os
 import sys
 
+from repro.bench.results import write_run
 from repro.gpu.arch import get_arch
 from repro.model.config import LLAMA31_8B
 from repro.serving import compare_formats, paper_serving_stacks, poisson_trace
@@ -124,6 +125,17 @@ def main(argv=None):
     with open(args.out, "w") as fh:
         json.dump(summary, fh, indent=2)
         fh.write("\n")
+    run_dir = write_run(
+        "prefix-cache",
+        {
+            "bench": "prefix_cache",
+            "fast": args.fast,
+            "trace_seed": 0,
+            "shared_prefix_fraction": SHARED_FRACTION,
+            "prefix_groups": PREFIX_GROUPS,
+        },
+        point,
+    )
     print(
         f"prefix cache: hit rate {point['hit_rate']:.3f}, "
         f"{point['tokens_per_s_on']:.1f} tok/s on vs "
@@ -131,7 +143,7 @@ def main(argv=None):
         f"effective capacity {point['effective_capacity_pages']} pages "
         f"({point['n_pages']} physical)"
     )
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} and {run_dir}/")
     return 0
 
 

@@ -26,6 +26,7 @@ import json
 import os
 import sys
 
+from repro.bench.results import write_run
 from repro.gpu.arch import get_arch
 from repro.model.config import LLAMA31_8B
 from repro.serving import compare_formats, paper_serving_stacks, poisson_trace
@@ -187,13 +188,18 @@ def main(argv=None):
     with open(args.out, "w") as fh:
         json.dump(summary, fh, indent=2)
         fh.write("\n")
+    run_dir = write_run(
+        "serving",
+        {"bench": "serving", "fast": args.fast, "prefill_chunk": chunk, "trace_seed": 0},
+        summary,
+    )
     for name, point in summary["formats"].items():
         print(
             f"{name}: {point['tokens_per_s']:.1f} tok/s, "
             f"p99 TBT {point['p99_tbt_s'] * 1e3:.1f} ms, "
             f"p99 TTFT {point['p99_ttft_s']:.2f} s"
         )
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} and {run_dir}/")
     return 0
 
 

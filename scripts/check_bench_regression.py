@@ -38,6 +38,14 @@ strictly above recompute at the same device page budget, with the
 speedup at or above ``--min-offload-speedup`` (default 1.0, baseline
 ``offload.floors`` may override), and the run must have actually swapped.
 
+And a ``chaos`` section (see ``benchmarks/bench_chaos.py``): on the
+committed fault plan the run must have exercised recovery (retries and
+healed pages), no request may end FAILED (baseline ``chaos.floors``
+``max_failed``, default 0), and the goodput delivered under faults plus
+deadline shedding must stay at or above ``--min-goodput-ratio`` (default
+0.35, baseline ``chaos.floors`` may override) of the fault-free run's
+throughput.
+
 Exit status is non-zero on any gated regression, which is what CI's
 ``bench`` job gates on.  When a throughput change is intentional, refresh
 the baseline::
@@ -46,6 +54,7 @@ the baseline::
         --out benchmarks/baseline.json
     python benchmarks/bench_prefix_cache.py --fast --out benchmarks/baseline.json
     python benchmarks/bench_offload.py --fast --out benchmarks/baseline.json
+    python benchmarks/bench_chaos.py --fast --out benchmarks/baseline.json
 """
 
 from __future__ import annotations
@@ -64,6 +73,10 @@ DEFAULT_MAX_FLATNESS = 2.0
 DEFAULT_MIN_HIT_RATE = 0.25
 #: Swap-vs-recompute throughput floor on the over-capacity offload trace.
 DEFAULT_MIN_OFFLOAD_SPEEDUP = 1.0
+#: Goodput-under-faults floor relative to fault-free throughput.
+DEFAULT_MIN_GOODPUT_RATIO = 0.35
+#: Requests allowed to end FAILED (heal budget exhausted) on the plan.
+DEFAULT_MAX_FAILED = 0
 
 
 def _pct(current: float | None, base: float | None) -> str:
@@ -268,6 +281,60 @@ def compare_offload(
     return failures
 
 
+def compare_chaos(
+    chaos: dict,
+    baseline_chaos: dict | None = None,
+    min_goodput_ratio: float | None = None,
+) -> list[str]:
+    """Gate the chaos-recovery serving point (empty list = pass).
+
+    The fault plan is seeded and the engine is deterministic, so the
+    counters are exact: a run that never retried or never healed means
+    injection stopped reaching the tier store; a FAILED request above the
+    floor means recovery exhausted its heal budget; a goodput ratio below
+    the floor means surviving the plan started costing more than it
+    should.  Floors resolve as: explicit argument > the baseline's
+    ``chaos.floors`` entry > the module defaults.
+    """
+    floors = (baseline_chaos or {}).get("floors", {})
+    if min_goodput_ratio is None:
+        min_goodput_ratio = floors.get("min_goodput_ratio", DEFAULT_MIN_GOODPUT_RATIO)
+    max_failed = floors.get("max_failed", DEFAULT_MAX_FAILED)
+
+    failures: list[str] = []
+    ratio = chaos.get("goodput_ratio")
+    failed = chaos.get("failed")
+    retries = chaos.get("transfer_retries", 0)
+    healed = chaos.get("healed_pages", 0)
+    base = baseline_chaos or {}
+    ratio_s = "n/a" if ratio is None else f"{ratio:.3f}x"
+    print(
+        f"chaos: goodput ratio {ratio_s} vs fault-free "
+        f"(floor {min_goodput_ratio:.2f}x, "
+        f"baseline {_pct(ratio, base.get('goodput_ratio'))}), "
+        f"{retries} retries, {healed} healed pages, "
+        f"{chaos.get('shed', 'n/a')} shed, {failed} failed "
+        f"(max {max_failed})"
+    )
+    if not retries or not healed:
+        failures.append(
+            "chaos: the committed fault plan was not exercised "
+            f"({retries} retries, {healed} healed pages); injection is not "
+            "reaching the tier store"
+        )
+    if failed is None or failed > max_failed:
+        failures.append(
+            f"chaos: {failed} requests ended FAILED (max {max_failed}); "
+            "recovery is exhausting its heal budget on the committed plan"
+        )
+    if ratio is None or ratio < min_goodput_ratio:
+        failures.append(
+            f"chaos: goodput ratio {ratio_s} fell below the floor "
+            f"{min_goodput_ratio:.2f}x of fault-free throughput"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_serving.json")
@@ -318,6 +385,13 @@ def main(argv: list[str] | None = None) -> int:
         help="min swap-vs-recompute throughput ratio on the offload trace "
         f"(default: baseline floors, else {DEFAULT_MIN_OFFLOAD_SPEEDUP})",
     )
+    parser.add_argument(
+        "--min-goodput-ratio",
+        type=float,
+        default=None,
+        help="min goodput-under-faults vs fault-free throughput on the "
+        f"chaos trace (default: baseline floors, else {DEFAULT_MIN_GOODPUT_RATIO})",
+    )
     args = parser.parse_args(argv)
     with open(args.current) as fh:
         current = json.load(fh)
@@ -340,6 +414,14 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif baseline.get("offload"):
         failures.append("offload: missing from current results")
+    if current.get("chaos"):
+        failures += compare_chaos(
+            current["chaos"],
+            baseline.get("chaos"),
+            min_goodput_ratio=args.min_goodput_ratio,
+        )
+    elif baseline.get("chaos"):
+        failures.append("chaos: missing from current results")
     if args.kernels:
         with open(args.kernels) as fh:
             kernels = json.load(fh)

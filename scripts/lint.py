@@ -30,14 +30,18 @@ FORMAT_TARGETS = [
     "scripts",
     "src/repro/attn",
     "src/repro/baselines",
+    "src/repro/bench",
     "src/repro/core",
+    "src/repro/faults",
     "src/repro/gpu",
     "src/repro/model",
     "src/repro/pages",
     "src/repro/serving",
     "tests/attn",
+    "tests/faults",
     "tests/pages",
     "tests/serving",
+    "benchmarks/bench_chaos.py",
     "benchmarks/bench_kernel_hotpath.py",
     "benchmarks/bench_offload.py",
     "benchmarks/bench_prefix_cache.py",

@@ -11,6 +11,10 @@ Usage::
     python -m repro serve-sim --prefix-cache --shared-prefix 0.5  # prefix caching
     python -m repro serve-sim --model tiny --execute --preemption swap \\
         --device-pages 16 --host-pages 48   # tiered KV offload
+    python -m repro serve-sim --model tiny --execute --chaos 7 \\
+        --device-pages 8 --host-pages 28 --max-batch 3 --requests 8 \\
+        --rate 100000 --prompt-len 40 --output-len 60 --seed 3 \\
+        --deadline-ms 6                     # fault injection + recovery proof
 """
 
 from __future__ import annotations
@@ -126,6 +130,229 @@ def _decoded_bit_exact(runner_a, runner_b) -> bool:
         if any(not np.array_equal(a, b) for a, b in zip(steps_a, steps_b)):
             return False
     return True
+
+
+def _chaos_outputs_recovered(chaos_engine, free_engine) -> bool:
+    """Chaos-run decode outputs vs the fault-free reference, bitwise.
+
+    Every request the chaos run decoded must be a *prefix* of the
+    fault-free run's outputs (timed-out requests stopped early), and a
+    request the chaos run FINISHED must match in full — recovery by
+    bit-exact replay means surviving faults costs time, never numerics.
+    """
+    chaos, free = chaos_engine._runner.decoded, free_engine._runner.decoded
+    finished = {lc.request.req_id for lc in chaos_engine.lifecycles if lc.finished}
+    for req_id, steps in chaos.items():
+        reference = free.get(req_id)
+        if reference is None or len(steps) > len(reference):
+            return False
+        if req_id in finished and len(steps) != len(reference):
+            return False
+        if any(not np.array_equal(a, b) for a, b in zip(steps, reference)):
+            return False
+    return True
+
+
+def _chaos_schedules_match(analytical, executed) -> bool:
+    """Fault outcomes, recovery actions and deadline decisions must land
+    on the same steps in both modes — the PR 7 determinism contract
+    extended to the whole degradation surface."""
+    same_counts = all(
+        getattr(analytical, f) == getattr(executed, f)
+        for f in (
+            "total_generated_tokens",
+            "prefill_steps",
+            "decode_steps",
+            "mixed_steps",
+            "preemptions",
+            "swap_outs",
+            "swap_ins",
+            "transfer_retries",
+            "lost_pages",
+            "checksum_failures",
+            "healed_pages",
+            "healed_requests",
+            "shed",
+            "timed_out",
+            "failed",
+            "completed",
+            "slow_steps",
+        )
+    )
+    a, b = analytical.sim_time_s, executed.sim_time_s
+    return same_counts and abs(a - b) <= 1e-9 + 1e-6 * max(abs(a), abs(b))
+
+
+def _cmd_serve_sim_chaos(args, model, arch, trace) -> None:
+    """Fault injection over the tiered stack, with recovery cross-checks.
+
+    Arms the demo :class:`~repro.faults.plan.FaultSpec` (seeded by
+    ``--chaos``) on a swap-tiered INT4 stack and runs the trace under an
+    optional deadline policy.  Plain mode reports the analytical
+    degradation counters.  With ``--execute`` it additionally proves the
+    recovery machinery: the analytical and executed chaos schedules must
+    agree on every fault outcome and recovery action, all lost/corrupt
+    pages must have been healed with no request FAILED, the executed
+    decode outputs must be bit-identical to a fault-free reference run
+    wherever recovery succeeded, and the plan must actually have
+    exercised a retry, a heal and (under a deadline) a shed.
+    """
+    import json
+
+    from repro.attn import PagedBitBackend
+    from repro.core.attention import BitDecoding
+    from repro.core.config import BitDecodingConfig
+    from repro.faults import demo_fault_spec
+    from repro.model.memory import int_format
+    from repro.serving import ContinuousBatchingEngine, DeadlinePolicy, EngineConfig
+
+    if args.page_size is not None or args.residual_window is not None:
+        print(
+            "serve-sim: --chaos runs the INT4 paged stack at page size N_r; "
+            "drop --page-size/--residual-window"
+        )
+        sys.exit(2)
+    if args.pages is not None:
+        print(
+            "serve-sim: --chaos injects faults on tier transfer legs, so the "
+            "pool is tiered; use --device-pages/--host-pages, not --pages"
+        )
+        sys.exit(2)
+    if args.device_pages is None or args.host_pages is None:
+        print(
+            "serve-sim: --chaos needs the tier geometry: --device-pages and "
+            "--host-pages (plus optional --disk-pages)"
+        )
+        sys.exit(2)
+    if args.prefix_cache:
+        print("serve-sim: --chaos does not compose with --prefix-cache yet")
+        sys.exit(2)
+    if args.execute and model.param_count > 1e6:
+        print(
+            f"serve-sim: --execute runs real numerics and {model.name} has "
+            f"{model.param_count / 1e9:.1f}B parameters; use a toy model "
+            "(e.g. --model tiny)"
+        )
+        sys.exit(2)
+    kernel_config = BitDecodingConfig(bits=4, wn=1)
+    kernel = BitDecoding(kernel_config, arch)
+    nr = kernel_config.residual_block_size
+    worst = max(trace, key=lambda r: r.total_len, default=None)
+    if worst is not None and -(-worst.total_len // nr) > args.device_pages:
+        need = -(-worst.total_len // nr)
+        print(
+            f"serve-sim: request {worst.req_id} needs {need} device pages for "
+            f"its {worst.total_len}-token context but the device tier holds "
+            f"only {args.device_pages}; raise --device-pages to at least {need}"
+        )
+        sys.exit(2)
+    deadline_ms = args.deadline_ms
+    if deadline_ms is None and args.execute:
+        deadline_ms = 6.0  # the committed demo plan's shed pressure
+    spec = demo_fault_spec(args.chaos)
+    common = dict(
+        model=model,
+        arch=arch,
+        fmt=int_format(4, model, residual_window=nr),
+        page_size=nr,
+        max_batch=args.max_batch,
+        n_gpus=args.n_gpus,
+        max_steps=args.steps,
+        prefill_chunk_tokens=args.prefill_chunk,
+        preemption="swap",
+        device_pages=args.device_pages,
+        host_pages=args.host_pages,
+        disk_pages=args.disk_pages,
+    )
+    chaos = dict(
+        faults=spec,
+        audit_every=args.audit_every,
+        max_heals=args.max_heals,
+        deadline_policy=(
+            DeadlinePolicy(default_deadline_s=deadline_ms * 1e-3) if deadline_ms else None
+        ),
+    )
+    analytical = ContinuousBatchingEngine(
+        EngineConfig(attention=kernel, **chaos, **common), trace
+    ).run()
+    reports = {"analytical": analytical.to_dict()}
+    checks = {}
+    if args.execute:
+        execute = dict(execute=True, execute_seed=args.seed)
+        chaos_engine = ContinuousBatchingEngine(
+            EngineConfig(backend=PagedBitBackend(kernel), **execute, **chaos, **common),
+            trace,
+        )
+        executed = chaos_engine.run()
+        free_engine = ContinuousBatchingEngine(
+            EngineConfig(backend=PagedBitBackend(kernel), **execute, **common), trace
+        )
+        fault_free = free_engine.run()
+        checks["schedule_match"] = _chaos_schedules_match(analytical, executed)
+        checks["all_damage_healed"] = (
+            executed.failed == 0 and not chaos_engine.tiers.has_bad_pages
+        )
+        checks["outputs_bit_exact_after_recovery"] = _chaos_outputs_recovered(
+            chaos_engine, free_engine
+        )
+        checks["exercised_retry"] = executed.transfer_retries >= 1
+        checks["exercised_heal"] = executed.healed_pages >= 1
+        if deadline_ms:
+            checks["exercised_shed"] = executed.shed >= 1
+        reports["executed"] = executed.to_dict()
+        reports["fault_free"] = fault_free.to_dict()
+    report = executed if args.execute else analytical
+    ok = all(checks.values())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "model": model.name,
+                    "arch": arch.name,
+                    "mode": "chaos-execute" if args.execute else "chaos",
+                    "chaos_seed": args.chaos,
+                    "deadline_ms": deadline_ms,
+                    "audit_every": args.audit_every,
+                    "checks": checks,
+                    "reports": reports,
+                },
+                indent=2,
+            )
+        )
+    else:
+        pool = (
+            f"device {args.device_pages} + host {args.host_pages}"
+            + (f" + disk {args.disk_pages}" if args.disk_pages else "")
+        )
+        print(
+            f"serve-sim --chaos {args.chaos}: {model.name} on {arch.name} | "
+            f"INT4 paged-bit, {pool} pages, swap preemption"
+            + (f", deadline {deadline_ms:g} ms" if deadline_ms else ", best-effort")
+            + (", executed" if args.execute else ", analytical")
+        )
+        print(
+            f"  outcome: {report.completed} finished ({report.deadline_met} in "
+            f"deadline), {report.shed} shed, {report.timed_out} timed out, "
+            f"{report.failed} failed of {report.n_requests}"
+        )
+        print(
+            f"  faults: {report.transfer_retries} retries "
+            f"({report.retry_backoff_s * 1e3:.3f} ms backoff), "
+            f"{report.lost_pages} lost pages, {report.checksum_failures} "
+            f"checksum failures, {report.slow_steps} slow steps"
+        )
+        print(
+            f"  recovery: {report.healed_pages} pages healed via "
+            f"{report.healed_requests} request replays, {report.audits} audits clean"
+        )
+        print(
+            f"  goodput: {report.goodput_tokens_per_s:.1f} tok/s in-deadline vs "
+            f"{report.sustained_tokens_per_s:.1f} tok/s generated"
+        )
+        for name, value in checks.items():
+            print(f"  check {name}: {value}")
+    if not ok:
+        sys.exit(1)
 
 
 def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
@@ -390,6 +617,17 @@ def _cmd_serve_sim(args) -> None:
             shared_prefix_fraction=args.shared_prefix,
             prefix_groups=args.prefix_groups,
         )
+        if args.chaos is None and (
+            args.deadline_ms is not None or args.audit_every != 10 or args.max_heals != 5
+        ):
+            print(
+                "serve-sim: --deadline-ms, --audit-every and --max-heals only "
+                "apply to --chaos runs"
+            )
+            sys.exit(2)
+        if args.chaos is not None:
+            _cmd_serve_sim_chaos(args, model, arch, trace)
+            return
         if args.execute:
             _cmd_serve_sim_execute(args, model, arch, trace)
             return
@@ -592,6 +830,36 @@ def main(argv=None) -> None:
         type=int,
         default=1,
         help="number of disjoint shared-prefix families in the trace",
+    )
+    serve.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="arm the demo fault plan seeded here (transfer retries, lost "
+        "pages, corruption, latency spikes, slow steps) over a swap-tiered "
+        "INT4 stack; with --execute also proves recovery: schedule parity, "
+        "all damage healed, outputs bit-identical to a fault-free run",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request completion deadline for --chaos runs (shed + "
+        "timeout + goodput; --execute defaults to the committed demo's 6 ms)",
+    )
+    serve.add_argument(
+        "--audit-every",
+        type=int,
+        default=10,
+        help="invariant-audit cadence in scheduler steps for --chaos runs",
+    )
+    serve.add_argument(
+        "--max-heals",
+        type=int,
+        default=5,
+        help="replay budget per request for --chaos runs; a sequence the "
+        "plan keeps damaging past this many heals ends FAILED",
     )
     serve.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)

@@ -29,6 +29,7 @@ agree exactly under ``numerics_mode="exact_tiled"`` (the parity suite in
 
 from __future__ import annotations
 
+import zlib
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -222,6 +223,27 @@ class PagedBitKVCache(TierObserver):
             tmp = pool[a].copy()
             pool[a] = pool[b]
             pool[b] = tmp
+
+    def frame_checksum(self, frame: int) -> int:
+        """CRC32 over every pool's bytes for one frame (packed words and
+        quantization metadata alike — rot in a scale is as fatal as rot in
+        a word)."""
+        digest = 0
+        for pool in self._pools():
+            digest = zlib.crc32(np.ascontiguousarray(pool[frame]).tobytes(), digest)
+        return digest & 0xFFFFFFFF
+
+    def corrupt_frame(self, frame: int, salt: int) -> None:
+        """Deterministically flip bits in one frame's packed K words.
+
+        The mask is derived from ``salt`` and guaranteed nonzero, so the
+        damage always changes the frame's checksum — injection can never
+        silently miss.
+        """
+        flat = self.k_words[frame].reshape(-1)
+        idx = salt % flat.size
+        # (salt | 1) keeps the low bit set, so the mask is never zero.
+        flat[idx] ^= np.asarray((salt | 1) & np.iinfo(flat.dtype).max, dtype=flat.dtype)
 
     # ---------------------------------------------------------- sequences
 
@@ -435,7 +457,7 @@ class PagedBitKVCache(TierObserver):
         gather, so reads are always device reads.
         """
         if self.tiers is not None:
-            self.tiers.ensure_resident([int(p) for p in pages])
+            self.tiers.fault_in([int(p) for p in pages])
         frames = self._frames(pages)
 
         def gather(pool: np.ndarray) -> np.ndarray:
@@ -620,11 +642,11 @@ class PagedBitBackend(AttentionBackend):
             # Overlap model: while sequence b's tile walk runs, the next
             # sequence's non-resident pages stream in.  Only the first
             # sequence has nothing to hide behind — it faults synchronously.
-            tiers.ensure_resident(bt.seqs[0].block_ids)
+            tiers.fault_in(bt.seqs[0].block_ids)
         outs = []
         for b, seqh in enumerate(bt.seqs):
             if tiers is not None and b + 1 < len(bt.seqs):
-                tiers.ensure_resident(bt.seqs[b + 1].block_ids, prefetch=True)
+                tiers.fault_in(bt.seqs[b + 1].block_ids, prefetch=True)
             outs.append(self.engine.decode(q[b : b + 1], seqh))
         return np.concatenate(outs, axis=0)
 

@@ -156,13 +156,33 @@ class ModelRunner:
         prog.pending = None
 
     def prefill(self, lc, n_tokens: int) -> None:
-        """Run one prefill chunk through the model into reserved pages."""
+        """Run one prefill chunk through the model into reserved pages.
+
+        Replay (re-admission after a preemption or a heal) is *bit-exact*:
+        prompt rows go through ``prefill_chunk`` with the same chunk
+        boundaries the original admission used, and consumed decode inputs
+        beyond the prompt are re-decoded one token at a time through the
+        quantized cache — the exact call sequence that produced them, so
+        a recovered sequence's remaining decode outputs match the
+        uninterrupted run bit for bit.
+        """
         prog = self._programs[lc.request.req_id]
-        x = np.stack(prog.inputs[prog.written : prog.written + n_tokens])[None]
-        h = self.tt.prefill_chunk(x, prog.session)
-        prog.written += n_tokens
+        end = prog.written + n_tokens
+        prompt_len = lc.request.prompt_len
+        last = None
+        if prog.written < prompt_len:
+            hi = min(end, prompt_len)
+            x = np.stack(prog.inputs[prog.written : hi])[None]
+            h = self.tt.prefill_chunk(x, prog.session)
+            prog.written = hi
+            last = h[0, -1]
+        while prog.written < end:
+            x = prog.inputs[prog.written]
+            h = self.tt.decode_step(x[None], prog.session)
+            prog.written += 1
+            last = h[0]
         if prog.written >= lc.prefill_target:
-            prog.pending = h[0, -1]
+            prog.pending = last
 
     def decode(self, lc) -> None:
         """Advance a decode-ready sequence by one real token."""
@@ -184,8 +204,24 @@ class ModelRunner:
         prog.pending = None
 
     def on_preempt(self, lc) -> None:
-        """Drop the cache binding; the scheduler frees the pages itself."""
-        self._free(self._programs[lc.request.req_id])
+        """Drop the cache binding; the scheduler frees the pages itself.
+
+        Works on swapped victims too (a healed sequence can be preempted
+        straight out of the swapped set): the stashed residual rows are
+        discarded along with the handles, since recompute-style replay
+        rebuilds everything from the input program.
+        """
+        prog = self._programs[lc.request.req_id]
+        self._free(prog)
+        prog.swap_state = None
+
+    def on_abort(self, lc) -> None:
+        """A request left the system without finishing (timed out, shed
+        after admission, or failed): release whatever it still binds."""
+        prog = self._programs.pop(lc.request.req_id, None)
+        if prog is not None:
+            self._free(prog)
+            prog.swap_state = None
 
     def on_swap_out(self, lc) -> None:
         """Park a sequence whose pages survive off-device (swap preemption).

@@ -45,10 +45,11 @@ _SPLIT_TARGET_BLOCKS_PER_SM = 2
 #: both FP4 formats (random fp16 K/V, contexts up to several N_r blocks):
 #: integer paths differ only by fp32 summation order (measured <= ~2e-6);
 #: the FP4 path also re-quantizes P against the global row maximum instead
-#: of the per-tile running maximum (measured <= ~3.5e-2).  The committed
-#: tolerances carry headroom; ``tests/core/test_vectorized_cache.py``
-#: enforces them as the dual-mode contract.
-FUSED_NUMERICS_TOLERANCE = {"int": 1e-5, "fp4": 7.5e-2}
+#: of the per-tile running maximum (typical <= ~3.5e-2, with adversarial
+#: MXFP4 cases observed up to ~9.3e-2).  The committed tolerances carry
+#: headroom; ``tests/core/test_vectorized_cache.py`` enforces them as the
+#: dual-mode contract and pins the worst discovered case.
+FUSED_NUMERICS_TOLERANCE = {"int": 1e-5, "fp4": 1.25e-1}
 
 
 def choose_splits(

@@ -1,0 +1,27 @@
+"""Fault injection, integrity checking, and invariant auditing.
+
+The serving stack moves packed KV pages across PCIe and NVMe — media
+that, at production scale, fail: transfers error and must be retried,
+latency spikes, bits rot in flight, and the host machine itself gets
+slow.  This package makes those failures *deterministic and replayable*
+so recovery can be tested bit-for-bit:
+
+- :class:`FaultSpec` / :class:`FaultPlan` — a seedable plan drawing
+  per-category RNG streams, injected into the
+  :class:`~repro.pages.tiers.TieredPageStore` migration seam.
+- :class:`InvariantAuditor` — periodic cross-check of allocator
+  refcounts, block-table page ownership, and the tier-store
+  page<->frame bijection.
+"""
+
+from repro.faults.audit import InvariantAuditor, InvariantViolation
+from repro.faults.plan import FaultPlan, FaultSpec, TransferOutcome, demo_fault_spec
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "TransferOutcome",
+    "demo_fault_spec",
+]

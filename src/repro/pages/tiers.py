@@ -36,17 +36,34 @@ died (released to the free list or evicted from the parked pool): dead
 pages become *garbage* frames, the free lunch of victim selection — a
 promotion may overwrite a garbage frame without paying to save its
 contents.
+
+**Faults and integrity.**  Construct the store with a
+:class:`~repro.faults.plan.FaultPlan` and every priced leg consults it:
+transient failures charge retry-with-backoff time straight into the
+fault (stall) bucket, latency spikes multiply the leg, permanent
+failures mark the page *lost*, and corruption events taint the payload
+in flight (observers get :meth:`TierObserver.corrupt_frame` so executed
+runs damage real bytes).  With ``integrity`` on, a live page leaving the
+device tier records a checksum (:meth:`TierObserver.frame_checksum`
+combined across observers) that is verified when the content next lands
+on device; mismatches — and, in analytical runs with no bytes to hash,
+plan-tainted pages — are marked *corrupt*.  Lost and corrupt pages queue
+in a bad-page ledger the engine drains (:meth:`drain_bad_pages`) to heal
+the affected sequences before any numerics read them.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.model.memory import MemoryTierModel
 from repro.pages.allocator import EvictionPolicy, PageAllocator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> pages)
+    from repro.faults.plan import FaultPlan
 
 
 class TierObserver:
@@ -58,6 +75,14 @@ class TierObserver:
 
     def exchange_frames(self, a: int, b: int) -> None:
         """Swap the contents of two frames (both survive, bit-exactly)."""
+        raise NotImplementedError
+
+    def frame_checksum(self, frame: int) -> int:
+        """Checksum of frame ``frame``'s content (uint32 range)."""
+        raise NotImplementedError
+
+    def corrupt_frame(self, frame: int, salt: int) -> None:
+        """Deterministically damage frame ``frame``'s content (never a no-op)."""
         raise NotImplementedError
 
 
@@ -78,6 +103,8 @@ class TieredPageStore(EvictionPolicy):
         disk_pages: int = 0,
         page_nbytes: float = 0.0,
         model: Optional[MemoryTierModel] = None,
+        faults: Optional["FaultPlan"] = None,
+        integrity: Optional[bool] = None,
     ):
         if device_pages <= 0 or host_pages < 0 or disk_pages < 0:
             raise ValueError("device_pages must be positive; host/disk non-negative")
@@ -113,6 +140,20 @@ class TieredPageStore(EvictionPolicy):
         self.demoted_pages = 0
         self.fault_ms_total = 0.0
         self.prefetch_ms_total = 0.0
+        # Fault injection + integrity state (all dormant when plan is None
+        # and integrity is off — the clean path pays only two None checks).
+        self.fault_plan = faults
+        self.integrity = bool(integrity) if integrity is not None else faults is not None
+        self._checksums: Dict[int, int] = {}  # page -> digest when its content left device
+        self._tainted: set = set()  # pages the plan corrupted in flight
+        self._bad_pages: Dict[int, str] = {}  # page -> "lost" | "corrupt"
+        self.transfer_retries = 0
+        self.retry_backoff_ms_total = 0.0
+        self.retry_stall_ms_total = 0.0
+        self.lost_pages = 0
+        self.injected_corruptions = 0
+        self.checksum_failures = 0
+        self.spiked_transfers = 0
         allocator.register(self)
 
     # ------------------------------------------------------------- geometry
@@ -184,12 +225,57 @@ class TieredPageStore(EvictionPolicy):
         """Dead content: unreferenced and not parked for any policy."""
         return self.allocator.refcount(page) == 0 and not self.allocator.is_cached(page)
 
+    def _leg(self, page: int, src_tier: str, dst_tier: str, live: bool) -> Tuple[float, bool]:
+        """Price one leg transfer of ``page``'s content under the fault plan.
+
+        Returns ``(ms, corrupt)``: the overlappable milliseconds of the
+        successful attempt (zero when the content is lost) and whether the
+        payload was corrupted in flight.  Retry attempts and backoff are
+        booked directly as synchronous stall — a failed DMA always blocks
+        the step, even when the transfer itself was issued as prefetch.
+        """
+        base = self.model.transfer_ms(self.page_nbytes, src_tier, dst_tier)
+        plan = self.fault_plan
+        if plan is None:
+            self._account_bytes(src_tier, dst_tier)
+            return base, False
+        out = plan.transfer(f"{src_tier}→{dst_tier}")
+        if out.failures:
+            stall = 0.0
+            for attempt in range(out.failures):
+                backoff = plan.backoff_ms(attempt)
+                self.retry_backoff_ms_total += backoff
+                stall += base + backoff
+            self.transfer_retries += out.failures
+            self.retry_stall_ms_total += stall
+            self._step_fault_ms += stall
+            self.fault_ms_total += stall
+        if out.lost:
+            self.lost_pages += 1
+            if live:
+                self._mark_bad(page, "lost")
+            return 0.0, False
+        if out.spike != 1.0:
+            self.spiked_transfers += 1
+        self._account_bytes(src_tier, dst_tier)
+        if out.corrupt and live:
+            self.injected_corruptions += 1
+            self._tainted.add(page)
+            return base * out.spike, True
+        return base * out.spike, False
+
     def _move(self, page: int, target_frame: int) -> float:
         """Bind ``page`` to ``target_frame``, displacing its current holder.
 
         Returns the priced transfer milliseconds: the page's own leg plus,
         when the displaced page's content is still live, the leg saving it
         into the vacated frame.  Garbage holders are simply overwritten.
+
+        Under a fault plan each leg may retry, spike, lose its payload, or
+        corrupt it; the bijection always completes (the engine heals lost
+        and corrupt pages before anything reads them).  With integrity on,
+        live content leaving the device tier records a checksum, and
+        content arriving on device is verified against it.
         """
         src_frame = self._frame_of[page]
         if src_frame == target_frame:
@@ -197,21 +283,87 @@ class TieredPageStore(EvictionPolicy):
         displaced = self._page_at[target_frame]
         src_tier = self._tier_of_frame(src_frame)
         dst_tier = self._tier_of_frame(target_frame)
-        ms = self.model.transfer_ms(self.page_nbytes, src_tier, dst_tier)
-        self._account_bytes(src_tier, dst_tier)
-        if self._garbage(displaced):
+        displaced_garbage = self._garbage(displaced)
+        page_live = not self._garbage(page)
+        if self.integrity:
+            if page_live and src_tier == "device":
+                self._record_checksum(page, src_frame)
+            if not displaced_garbage and dst_tier == "device":
+                self._record_checksum(displaced, target_frame)
+        ms, page_corrupt = self._leg(page, src_tier, dst_tier, page_live)
+        displaced_corrupt = False
+        if displaced_garbage:
             for obs in self._observers:
                 obs.copy_frame(src_frame, target_frame)
         else:
-            ms += self.model.transfer_ms(self.page_nbytes, dst_tier, src_tier)
-            self._account_bytes(dst_tier, src_tier)
+            leg_ms, displaced_corrupt = self._leg(displaced, dst_tier, src_tier, True)
+            ms += leg_ms
             for obs in self._observers:
                 obs.exchange_frames(src_frame, target_frame)
         self._frame_of[page], self._frame_of[displaced] = target_frame, src_frame
         self._page_at[target_frame], self._page_at[src_frame] = page, displaced
         if self._frame_of[displaced] >= self.device_pages:
             self._lru.pop(displaced, None)
+        if page_corrupt:
+            self._apply_corruption(page)
+        if displaced_corrupt:
+            self._apply_corruption(displaced)
+        if self.integrity:
+            if dst_tier == "device" and page_live:
+                self._verify_on_device(page)
+            if src_tier == "device" and not displaced_garbage:
+                self._verify_on_device(displaced)
         return ms
+
+    # ------------------------------------------------------ integrity/faults
+
+    def _mark_bad(self, page: int, kind: str) -> None:
+        self._bad_pages.setdefault(page, kind)
+
+    def _combined_checksum(self, frame: int) -> int:
+        digest = 0
+        for i, obs in enumerate(self._observers):
+            digest ^= (obs.frame_checksum(frame) + 0x9E3779B9 * (i + 1)) & 0xFFFFFFFF
+        return digest
+
+    def _record_checksum(self, page: int, frame: int) -> None:
+        """Snapshot a live page's digest as its content leaves device."""
+        if self._observers:
+            self._checksums[page] = self._combined_checksum(frame)
+
+    def _apply_corruption(self, page: int) -> None:
+        """Physically damage a plan-corrupted page (executed runs only)."""
+        frame = self._frame_of[page]
+        salt = (page * 0x9E3779B1 + self.injected_corruptions) & 0xFFFFFFFF
+        for obs in self._observers:
+            obs.corrupt_frame(frame, salt)
+
+    def _verify_on_device(self, page: int) -> None:
+        """Check content that just landed on device against its exit digest.
+
+        Detection is taint-driven (identical in analytical and executed
+        runs: both plans drew the same corruption events) and additionally
+        byte-driven when observers exist — a frame damaged outside the
+        plan is caught by the digest alone.
+        """
+        expected = self._checksums.pop(page, None)
+        corrupt = page in self._tainted
+        self._tainted.discard(page)
+        if expected is not None and self._observers:
+            if self._combined_checksum(self._frame_of[page]) != expected:
+                corrupt = True
+        if corrupt:
+            self.checksum_failures += 1
+            self._mark_bad(page, "corrupt")
+
+    @property
+    def has_bad_pages(self) -> bool:
+        return bool(self._bad_pages)
+
+    def drain_bad_pages(self) -> Dict[int, str]:
+        """Hand the lost/corrupt ledger to the engine for healing."""
+        bad, self._bad_pages = self._bad_pages, {}
+        return bad
 
     def _account_bytes(self, src: str, dst: str) -> None:
         nbytes = int(self.page_nbytes)
@@ -313,6 +465,41 @@ class TieredPageStore(EvictionPolicy):
                 self.faults += n_moved
         return ms
 
+    def absorb_prefetch(self, ms: float) -> None:
+        """Mark ``ms`` of this step's prefetch bucket as already overlapped
+        by compute the engine charged out-of-band (a whole-prompt prefill
+        pass), so the step's closing overlap math cannot charge it twice."""
+        self._step_prefetch_ms = max(0.0, self._step_prefetch_ms - ms)
+
+    def fault_in(self, pages: Sequence[int], prefetch: bool = False) -> float:
+        """Measured-path residency fallback for readers below the scheduler.
+
+        Unlike :meth:`ensure_resident` this is a strict no-op when every
+        page is already resident — no pins recorded, no LRU recency — so
+        executed numerics re-checking pages the scheduler already promoted
+        cannot perturb victim selection.  That is what keeps an analytical
+        and an executed chaos run drawing identical fault outcomes: the
+        engine issues every schedule-level transfer itself, and this
+        fallback only ever acts on direct cache use outside an engine.
+        """
+        missing = [page for page in pages if not self.resident(page)]
+        if not missing:
+            return 0.0
+        self.pin(missing)
+        ms = 0.0
+        for page in missing:
+            ms += self._move(page, self._pick_device_victim())
+        self.touch(missing)
+        if prefetch:
+            self._step_prefetch_ms += ms
+            self.prefetch_ms_total += ms
+            self.prefetched_pages += len(missing)
+        else:
+            self._step_fault_ms += ms
+            self.fault_ms_total += ms
+            self.faults += len(missing)
+        return ms
+
     def demote(self, pages: Sequence[int]) -> float:
         """Swap pages out of the device tier (preemption's cheap path).
 
@@ -342,8 +529,16 @@ class TieredPageStore(EvictionPolicy):
         if not self.allocator.is_cached(page):
             self._lru.pop(page, None)
             self._pins.discard(page)
+            self._forget_content(page)
 
     def page_evicted(self, page: int) -> None:
         """A parked page was reclaimed: its old content is garbage now."""
         self._lru.pop(page, None)
         self._pins.discard(page)
+        self._forget_content(page)
+
+    def _forget_content(self, page: int) -> None:
+        """Dead content needs no digest, carries no taint, heals nothing."""
+        self._checksums.pop(page, None)
+        self._tainted.discard(page)
+        self._bad_pages.pop(page, None)

@@ -40,10 +40,17 @@ from repro.serving.engine import (
 )
 from repro.serving.formats import paper_serving_stacks
 from repro.serving.report import ServingReport
-from repro.serving.request import Phase, Request, RequestLifecycle, poisson_trace
+from repro.serving.request import (
+    DeadlinePolicy,
+    Phase,
+    Request,
+    RequestLifecycle,
+    poisson_trace,
+)
 
 __all__ = [
     "ContinuousBatchingEngine",
+    "DeadlinePolicy",
     "EngineConfig",
     "Phase",
     "Request",

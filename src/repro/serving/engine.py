@@ -62,6 +62,24 @@ the engine checks page conservation — the pages held by resident
 sequences must equal the allocator's used count — so scheduling bugs
 (double releases, leaked mid-prefill reservations) fail loudly instead of
 skewing the comparison.
+
+**Faults, deadlines and degradation** (``EngineConfig.faults`` /
+``deadline_policy`` / ``audit_every``): a
+:class:`~repro.faults.plan.FaultSpec` arms the tier store with a
+deterministic :class:`~repro.faults.plan.FaultPlan` — transient transfer
+faults retry with backoff (priced as stall), permanent faults and
+in-flight corruption (caught by demote/promote checksums) surface as
+*bad pages* the engine heals by recompute-style replay of just the
+affected sequences before any numerics read them.  A
+:class:`~repro.serving.request.DeadlinePolicy` adds per-request
+deadlines: admission sheds a head that cannot finish in time, expired
+requests are timed out and reclaimed, and the report splits goodput
+(tokens of deadline-meeting requests) from raw throughput.  An
+:class:`~repro.faults.audit.InvariantAuditor` cross-checks allocator,
+block tables and tier bijection every ``audit_every`` steps.  All
+decisions are schedule-level, so an analytical and an executed chaos run
+stay in lock-step — the ``serve-sim --chaos --execute`` cross-check
+proves recovered decodes bit-identical to a fault-free run.
 """
 
 from __future__ import annotations
@@ -72,6 +90,8 @@ from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.attn.analytical import AnalyticalBackend
 from repro.attn.protocol import AttentionBackend
+from repro.faults.audit import InvariantAuditor
+from repro.faults.plan import FaultPlan, FaultSpec
 from repro.gpu.arch import ArchSpec
 from repro.model.config import ModelConfig
 from repro.model.inference import AttentionSystem
@@ -82,10 +102,17 @@ from repro.pages.page_table import PageTable
 from repro.pages.prefix_cache import PrefixCache
 from repro.pages.tiers import TieredPageStore
 from repro.serving.report import ServingReport
-from repro.serving.request import Phase, Request, RequestLifecycle, prefix_block_keys
+from repro.serving.request import (
+    DeadlinePolicy,
+    Phase,
+    Request,
+    RequestLifecycle,
+    prefix_block_keys,
+)
 
 __all__ = [
     "ContinuousBatchingEngine",
+    "DeadlinePolicy",
     "EngineConfig",
     "Phase",
     "RequestLifecycle",
@@ -157,6 +184,20 @@ class EngineConfig:
     #: PCIe/NVMe bandwidth model pricing page migration (defaults used
     #: when None).
     tier_model: Optional[MemoryTierModel] = None
+    #: Fault-injection spec; the engine builds a deterministic
+    #: :class:`~repro.faults.plan.FaultPlan` from it and arms the tier
+    #: store.  Requires ``preemption="swap"`` — faults live on the tier
+    #: transfer legs.
+    faults: Optional[FaultSpec] = None
+    #: Deadline semantics (shedding, timeouts, goodput); None ignores
+    #: ``Request.deadline_s`` entirely.
+    deadline_policy: Optional[DeadlinePolicy] = None
+    #: Run the invariant auditor every N steps (and once after the run);
+    #: None disables auditing.
+    audit_every: Optional[int] = None
+    #: Heal budget per request: a sequence replayed more than this many
+    #: times by fault recovery is dropped as FAILED.
+    max_heals: int = 5
 
     @property
     def tiered(self) -> bool:
@@ -189,6 +230,15 @@ class EngineConfig:
             )
         if not self.prefix_share and not self.prefix_cache:
             raise ValueError("prefix_share=False only modifies a prefix_cache=True run")
+        if self.faults is not None and not self.tiered:
+            raise ValueError(
+                'faults are injected on tier transfer legs: FaultSpec needs '
+                'preemption="swap" and a tier geometry'
+            )
+        if self.audit_every is not None and self.audit_every <= 0:
+            raise ValueError("audit_every must be positive (or None)")
+        if self.max_heals < 1:
+            raise ValueError("max_heals must be at least 1")
         if self.page_size <= 0:
             raise ValueError("page_size must be positive")
         if self.max_batch <= 0:
@@ -257,6 +307,12 @@ class ContinuousBatchingEngine:
         self.n_pages = n_pages
         self.allocator = PageAllocator(n_pages)
         self.table = PageTable(self.allocator, page_size=config.page_size)
+        # Each engine builds its own plan from the spec: an analytical and
+        # an executed run of the same config issue identical transfer
+        # sequences, so their plans draw identical fault outcomes.
+        self.fault_plan: Optional[FaultPlan] = (
+            FaultPlan(config.faults) if config.faults is not None else None
+        )
         self.tiers: Optional[TieredPageStore] = None
         if config.tiered:
             self.tiers = TieredPageStore(
@@ -266,7 +322,13 @@ class ContinuousBatchingEngine:
                 config.disk_pages,
                 page_nbytes=page_bytes(config.model, config.fmt, config.page_size),
                 model=config.tier_model,
+                faults=self.fault_plan,
             )
+        self.auditor: Optional[InvariantAuditor] = (
+            InvariantAuditor(self.allocator, table=self.table, tiers=self.tiers)
+            if config.audit_every is not None
+            else None
+        )
         #: Pages the decode working set must fit at once (whole pool when
         #: untiered).
         self.device_pages = config.device_pages if config.tiered else n_pages
@@ -293,6 +355,12 @@ class ContinuousBatchingEngine:
             RequestLifecycle(r)
             for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         ]
+        if config.deadline_policy is not None:
+            default = config.deadline_policy.default_deadline_s
+            for lc in self.lifecycles:
+                rel = lc.request.deadline_s if lc.request.deadline_s is not None else default
+                if rel is not None:
+                    lc.deadline_abs = lc.request.arrival_s + rel
         self._queue: Deque[RequestLifecycle] = deque()
         self._running: List[RequestLifecycle] = []
         #: Swap-preempted sequences: pages still mapped (demoted off the
@@ -315,6 +383,10 @@ class ContinuousBatchingEngine:
         self._prefix_hit_tokens = 0
         self._prefix_reclaimed_pages = 0
         self._shared_pages_peak = 0
+        self._healed_pages = 0
+        self._healed_requests = 0
+        self._slow_steps = 0
+        self._slow_step_stall_s = 0.0
 
     # ------------------------------------------------------------- scheduling
 
@@ -414,6 +486,8 @@ class ContinuousBatchingEngine:
             head = self._queue[0]
             if self._reject_impossible(head):
                 continue
+            if self._shed_head(head):
+                continue
             need = self._pages_needed(head.context_len)
             hit_pages = self._probe_prefix(head)
             if not self._fresh_pages_available(need, hit_pages):
@@ -422,9 +496,33 @@ class ContinuousBatchingEngine:
             self._map_admission(head, head.context_len, hit_pages)
             head.prefilled = head.prefill_target = head.context_len
             suffix = head.context_len - head.cached_tokens
-            self._clock += (
+            prefill_s = (
                 self.backend.prefill_time_ms(cfg.model, cfg.arch, suffix, cfg.n_gpus) * 1e-3
             )
+            promote_s = 0.0
+            if self.tiers is not None and head.generated:
+                # A fresh prompt's prefill only *writes* pages (the chunk
+                # attends to itself, the tail lives in residual slots),
+                # but a replay admission — recompute preemption or a heal
+                # — re-decodes its consumed tokens and those decodes read
+                # the context's *full* pages.  Promote exactly that read
+                # set up front.  This is a *schedule-level* decision: the
+                # analytical run issues the same transfers, which keeps
+                # an executed chaos run's fault draws in lock-step even
+                # when the replay re-admits onto host-tier frames — and
+                # fault_in is a strict no-op when the set is already
+                # resident.  The promotion DMA rides under the prefill
+                # pass itself: only its overhang surfaces, and the
+                # absorbed part must not be charged again by the step's
+                # closing overlap math.  (Retry stalls from a fault plan
+                # stay in the fault bucket — a failed DMA always blocks.)
+                read_set = self.table.sequences[head.seq_id].pages[
+                    : head.context_len // cfg.page_size
+                ]
+                promote_s = self.tiers.fault_in(read_set, prefetch=True) * 1e-3
+                self.tiers.absorb_prefetch(promote_s * 1e3)
+                self._overlapped_s += min(promote_s, prefill_s)
+            self._clock += max(prefill_s, promote_s)
             self._prefill_steps += 1
             self._running.append(head)
             if self._runner is not None:
@@ -450,6 +548,8 @@ class ContinuousBatchingEngine:
         while self._queue and len(self._running) < cfg.max_batch:
             head = self._queue[0]
             if self._reject_impossible(head):
+                continue
+            if self._shed_head(head):
                 continue
             need = self._pages_needed(head.context_len)
             hit_pages = self._probe_prefix(head)
@@ -489,6 +589,140 @@ class ContinuousBatchingEngine:
         # has the pool to itself always has room to grow and the earliest
         # admitted sequence always completes.
         self._queue.appendleft(victim)
+
+    # -------------------------------------------------- faults and deadlines
+
+    def _abort(self, lc: RequestLifecycle, *, shed=False, timed_out=False, failed=False) -> None:
+        """Remove a request from the system without finishing it.
+
+        Releases whatever it still holds (pages, runner program, queue or
+        resident slot) and stamps the terminal state.
+        """
+        if self._runner is not None:
+            self._runner.on_abort(lc)
+        if lc.seq_id is not None:
+            self.table.release_sequence(lc.seq_id)
+            lc.seq_id = None
+        lc.prefilled = 0
+        lc.prefill_target = 0
+        lc.cached_tokens = 0
+        lc.registered_blocks = 0
+        lc.shed, lc.timed_out, lc.failed = shed, timed_out, failed
+        if lc in self._running:
+            self._running.remove(lc)
+        if lc in self._swapped:
+            self._swapped.remove(lc)
+        try:
+            self._queue.remove(lc)
+        except ValueError:
+            pass
+
+    def _estimate_service_s(self, lc: RequestLifecycle) -> float:
+        """Optimistic completion estimate for deadline-aware admission:
+        the head's own prefill plus its remaining decodes priced at the
+        batch it would join.  Optimistic (no queueing ahead of it, no
+        faults) so shedding never drops a request that had a chance."""
+        cfg = self.config
+        prefill_ms = self.backend.prefill_time_ms(cfg.model, cfg.arch, lc.context_len, cfg.n_gpus)
+        batch = len(self._running) + 1
+        step_ms = self.backend.decode_step_ms(
+            cfg.model, cfg.arch, batch, lc.request.total_len, cfg.n_gpus
+        )
+        remaining = lc.request.output_len - lc.generated
+        return (prefill_ms + step_ms * remaining) * 1e-3
+
+    def _shed_head(self, head: RequestLifecycle) -> bool:
+        """Deadline-aware admission gate for the FCFS head.
+
+        An already-expired head is timed out; a never-served head whose
+        optimistic completion estimate overshoots its deadline is shed —
+        graceful degradation instead of burning pages on a lost cause.
+        Requests that already generated tokens (preempted or healed) are
+        never shed: their work is sunk, the timeout check arbitrates.
+        """
+        policy = self.config.deadline_policy
+        if policy is None or head.deadline_abs is None:
+            return False
+        if self._clock >= head.deadline_abs:
+            self._queue.popleft()
+            self._abort(head, timed_out=True)
+            return True
+        if not policy.shed_on_admission or head.generated or head.preemptions or head.heals:
+            return False
+        estimate = self._estimate_service_s(head) * policy.admission_slack
+        if self._clock + estimate > head.deadline_abs:
+            self._queue.popleft()
+            self._abort(head, shed=True)
+            return True
+        return False
+
+    def _enforce_deadlines(self) -> None:
+        """Time out every request whose deadline the step just crossed.
+
+        Runs after token emission, so a request finishing exactly on the
+        step that crossed its deadline counts as FINISHED (though not as
+        having met the deadline unless it did)."""
+        if self.config.deadline_policy is None:
+            return
+        expired = [
+            lc
+            for lc in list(self._running) + list(self._swapped) + list(self._queue)
+            if lc.deadline_abs is not None and self._clock >= lc.deadline_abs
+        ]
+        for lc in expired:
+            self._abort(lc, timed_out=True)
+
+    def _heal(self, lc: RequestLifecycle) -> None:
+        """Recompute-style replay of a sequence whose page content died.
+
+        Exactly a preemption (release pages, requeue front, keep the
+        generated count and the runner's input program) except it can pull
+        the victim out of the swapped set too, and it draws on a separate
+        heal budget — a request the plan keeps killing eventually FAILs
+        instead of looping forever.
+        """
+        assert lc.seq_id is not None
+        if self._runner is not None:
+            self._runner.on_preempt(lc)
+        self.table.release_sequence(lc.seq_id)
+        lc.seq_id = None
+        lc.prefilled = 0
+        lc.prefill_target = 0
+        lc.cached_tokens = 0
+        lc.registered_blocks = 0
+        lc.heals += 1
+        self._healed_requests += 1
+        if lc in self._running:
+            self._running.remove(lc)
+        else:
+            self._swapped.remove(lc)
+        if lc.heals > self.config.max_heals:
+            self._abort(lc, failed=True)
+        else:
+            self._queue.appendleft(lc)
+
+    def _heal_bad_pages(self) -> None:
+        """Drain the tier store's lost/corrupt ledger and recover.
+
+        Every sequence mapping a bad page is healed (its release turns the
+        page's content into garbage, so the damage cannot be read), and
+        any prefix-cache registration of the page is forgotten so no
+        future admission maps the damaged content.  Runs at every point
+        the store may have produced bad pages, always *before* numerics.
+        """
+        if self.tiers is None or not self.tiers.has_bad_pages:
+            return
+        for page in self.tiers.drain_bad_pages():
+            self._healed_pages += 1
+            if self.prefix_cache is not None:
+                self.prefix_cache.forget_page(page)
+            victims = [
+                lc
+                for lc in list(self._running) + list(self._swapped)
+                if lc.seq_id is not None and page in self.table.sequences[lc.seq_id].pages
+            ]
+            for lc in victims:
+                self._heal(lc)
 
     # --------------------------------------------------------- swap preemption
 
@@ -552,8 +786,17 @@ class ContinuousBatchingEngine:
         """Price a step's tier traffic on top of its compute time.
 
         Synchronous faults stall in full; prefetched/demoted transfers
-        overlap the compute and only their overhang surfaces.
+        overlap the compute and only their overhang surfaces.  A fault
+        plan may dilate the whole step (clock skew / noisy neighbor);
+        the dilation is applied to the compute before the overlap math,
+        since a slow step hides *more* prefetch, not less.
         """
+        if self.fault_plan is not None:
+            factor = self.fault_plan.step_factor()
+            if factor != 1.0:
+                self._slow_steps += 1
+                self._slow_step_stall_s += step_s * (factor - 1.0)
+                step_s *= factor
         if self.tiers is None:
             return step_s
         stall_s = self.tiers.step_fault_ms * 1e-3
@@ -609,6 +852,17 @@ class ContinuousBatchingEngine:
             chunks.append((lc.prefilled, take))
             lc.prefilled += take
             budget -= take
+            if self.tiers is not None:
+                # Same schedule-level promotion as whole-prompt admission:
+                # the chunk's attention reads the full pages written so
+                # far.  fault_in is a strict no-op when that set is
+                # resident, so a fault-free run's schedule is untouched.
+                self.tiers.fault_in(
+                    self.table.sequences[lc.seq_id].pages[
+                        : lc.prefilled // self.config.page_size
+                    ],
+                    prefetch=True,
+                )
             if self._runner is not None:
                 self._runner.prefill(lc, take)
             self._register_prefix(lc)
@@ -650,6 +904,14 @@ class ContinuousBatchingEngine:
             live = [lc for lc in self._running if lc.seq_id is not None]
             for i, lc in enumerate(live):
                 self.tiers.ensure_resident(self.table.sequences[lc.seq_id].pages, prefetch=i > 0)
+            # Pages the walk lost or promoted corrupt are healed before
+            # the numerics read anything: the victims leave the batch.
+            self._heal_bad_pages()
+        if not self._running:
+            # Every resident sequence healed away.  The retry stalls and
+            # wasted transfers still advance the clock.
+            self._clock += self._charge_step(0.0)
+            return
         if self._runner is not None:
             for lc in self._running:
                 if lc.seq_id is not None:
@@ -685,6 +947,11 @@ class ContinuousBatchingEngine:
         if self.tiers is not None:
             for i, lc in enumerate(decoders):
                 self.tiers.ensure_resident(self.table.sequences[lc.seq_id].pages, prefetch=i > 0)
+            self._heal_bad_pages()
+            decoders = [lc for lc in decoders if lc.seq_id is not None]
+        if not chunks and not decoders:
+            self._clock += self._charge_step(0.0)
+            return
         if self._runner is not None:
             for lc in decoders:
                 self._runner.decode(lc)
@@ -757,17 +1024,25 @@ class ContinuousBatchingEngine:
             if self.tiers is not None:
                 self.tiers.start_step()
                 self._resume_swapped()
+                self._heal_bad_pages()
             if chunked:
                 self._admit_chunked()
                 if self.tiers is not None:
                     self._swap_out_overflow()
+                    self._heal_bad_pages()
                 self._mixed_step()
             else:
                 self._admit()
                 if self.tiers is not None:
                     self._swap_out_overflow()
+                    self._heal_bad_pages()
                 self._decode()
+            self._enforce_deadlines()
             self._assert_conservation()
+            if self.auditor is not None and self._steps % self.config.audit_every == 0:
+                self.auditor.audit(self._steps)
+        if self.auditor is not None:
+            self.auditor.audit()
         return self._report()
 
     def _report(self) -> ServingReport:
@@ -814,6 +1089,23 @@ class ContinuousBatchingEngine:
             offload_faults=self.tiers.faults if self.tiers else 0,
             offload_stall_s=self._stall_s,
             offload_overlapped_s=self._overlapped_s,
+            faults_enabled=self.fault_plan is not None,
+            transfer_retries=self.tiers.transfer_retries if self.tiers else 0,
+            retry_backoff_s=(self.tiers.retry_backoff_ms_total if self.tiers else 0.0) * 1e-3,
+            checksum_failures=self.tiers.checksum_failures if self.tiers else 0,
+            lost_pages=self.tiers.lost_pages if self.tiers else 0,
+            healed_pages=self._healed_pages,
+            healed_requests=self._healed_requests,
+            slow_steps=self._slow_steps,
+            slow_step_stall_s=self._slow_step_stall_s,
+            shed=sum(1 for lc in self.lifecycles if lc.shed),
+            timed_out=sum(1 for lc in self.lifecycles if lc.timed_out),
+            failed=sum(1 for lc in self.lifecycles if lc.failed),
+            deadline_met=sum(1 for lc in self.lifecycles if lc.met_deadline),
+            goodput_tokens=sum(
+                lc.request.output_len for lc in self.lifecycles if lc.met_deadline
+            ),
+            audits=self.auditor.audits if self.auditor is not None else 0,
         )
 
 

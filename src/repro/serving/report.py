@@ -99,6 +99,34 @@ class ServingReport:
     offload_stall_s: float = 0.0
     #: Prefetch/demote transfer seconds hidden under compute.
     offload_overlapped_s: float = 0.0
+    #: Whether a fault-injection plan was active for this run.
+    faults_enabled: bool = False
+    #: Failed transfer attempts that were retried (each priced in full).
+    transfer_retries: int = 0
+    #: Exponential-backoff seconds charged between retry attempts.
+    retry_backoff_s: float = 0.0
+    #: Pages whose content failed its promote-time integrity check.
+    checksum_failures: int = 0
+    #: Pages whose content a permanent transfer fault destroyed.
+    lost_pages: int = 0
+    #: Lost/corrupt pages recovered by recompute-style replay.
+    healed_pages: int = 0
+    #: Sequences replayed because a page they mapped died.
+    healed_requests: int = 0
+    #: Scheduler steps the plan slowed down, and the extra seconds added.
+    slow_steps: int = 0
+    slow_step_stall_s: float = 0.0
+    #: Requests refused by deadline-aware admission / expired in-system /
+    #: dropped after exhausting the heal budget.
+    shed: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    #: Finished requests that met their deadline (best-effort always does).
+    deadline_met: int = 0
+    #: Tokens/s counting only requests that met their deadline.
+    goodput_tokens_per_s: float = 0.0
+    #: Invariant-auditor passes completed during the run.
+    audits: int = 0
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -146,8 +174,24 @@ class ServingReport:
         offload_faults: int = 0,
         offload_stall_s: float = 0.0,
         offload_overlapped_s: float = 0.0,
+        faults_enabled: bool = False,
+        transfer_retries: int = 0,
+        retry_backoff_s: float = 0.0,
+        checksum_failures: int = 0,
+        lost_pages: int = 0,
+        healed_pages: int = 0,
+        healed_requests: int = 0,
+        slow_steps: int = 0,
+        slow_step_stall_s: float = 0.0,
+        shed: int = 0,
+        timed_out: int = 0,
+        failed: int = 0,
+        deadline_met: int = 0,
+        goodput_tokens: int = 0,
+        audits: int = 0,
     ) -> "ServingReport":
         sustained = total_generated_tokens / sim_time_s if sim_time_s > 0 else 0.0
+        goodput = goodput_tokens / sim_time_s if sim_time_s > 0 else 0.0
         return cls(
             format_name=format_name,
             n_pages=n_pages,
@@ -195,6 +239,21 @@ class ServingReport:
             offload_faults=offload_faults,
             offload_stall_s=offload_stall_s,
             offload_overlapped_s=offload_overlapped_s,
+            faults_enabled=faults_enabled,
+            transfer_retries=transfer_retries,
+            retry_backoff_s=retry_backoff_s,
+            checksum_failures=checksum_failures,
+            lost_pages=lost_pages,
+            healed_pages=healed_pages,
+            healed_requests=healed_requests,
+            slow_steps=slow_steps,
+            slow_step_stall_s=slow_step_stall_s,
+            shed=shed,
+            timed_out=timed_out,
+            failed=failed,
+            deadline_met=deadline_met,
+            goodput_tokens_per_s=goodput,
+            audits=audits,
         )
 
     def to_dict(self) -> dict:

@@ -10,6 +10,12 @@ a time), DECODE until the last output token, then FINISHED — with
 REJECTED terminal for requests that could never fit the pool.  Traces are
 generated with a seeded Poisson process so every simulation is exactly
 reproducible.
+
+Deadlines add three more terminal states: SHED (the deadline-aware
+admission gate refused a request it predicted could not finish in time),
+TIMED_OUT (the deadline passed with the request queued, running or
+swapped), and FAILED (fault recovery exhausted its heal budget).  How
+aggressively the engine sheds is a :class:`DeadlinePolicy`.
 """
 
 from __future__ import annotations
@@ -29,6 +35,11 @@ class Request:
     prompt: every request with the same ``prefix_group`` has *identical*
     token content there (the runner synthesizes those rows from the group,
     not the request id), which is what the prefix cache deduplicates.
+
+    ``deadline_s`` is the request's completion budget *relative to its
+    arrival*: the last output token must be emitted by
+    ``arrival_s + deadline_s`` for the request to count toward goodput.
+    None means best-effort (always counts).
     """
 
     req_id: int
@@ -37,6 +48,7 @@ class Request:
     output_len: int
     shared_prefix_len: int = 0
     prefix_group: int = 0
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -45,6 +57,8 @@ class Request:
             raise ValueError("prompt_len and output_len must be positive")
         if not 0 <= self.shared_prefix_len <= self.prompt_len:
             raise ValueError("shared_prefix_len must lie in [0, prompt_len]")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None for best-effort)")
 
     @property
     def total_len(self) -> int:
@@ -83,6 +97,37 @@ class Phase(Enum):
     DECODE = "decode"
     FINISHED = "finished"
     REJECTED = "rejected"
+    #: Dropped by deadline-aware admission before ever being served.
+    SHED = "shed"
+    #: Deadline passed while queued, running or swapped.
+    TIMED_OUT = "timed_out"
+    #: Fault recovery exhausted the heal budget.
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """How the engine treats request deadlines.
+
+    ``default_deadline_s`` applies to requests that carry none (None
+    leaves them best-effort).  With ``shed_on_admission`` the FCFS head
+    is *shed* — refused before consuming any pages — when the current
+    clock plus an optimistic service estimate already overshoots its
+    deadline; ``admission_slack`` scales that estimate (values above 1.0
+    shed earlier, below 1.0 gamble on the estimate being pessimistic).
+    Requests whose deadline passes while in the system are TIMED_OUT and
+    their resources reclaimed after the step that crossed the line.
+    """
+
+    default_deadline_s: Optional[float] = None
+    shed_on_admission: bool = True
+    admission_slack: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be positive (or None)")
+        if self.admission_slack <= 0:
+            raise ValueError("admission_slack must be positive")
 
 
 @dataclass
@@ -116,6 +161,15 @@ class RequestLifecycle:
     finish_s: Optional[float] = None
     preemptions: int = 0
     rejected: bool = False
+    #: Absolute completion deadline (arrival + deadline), resolved by the
+    #: engine from the request and the deadline policy; None = best-effort.
+    deadline_abs: Optional[float] = None
+    shed: bool = False
+    timed_out: bool = False
+    failed: bool = False
+    #: Recompute-style replays forced by lost/corrupt pages (distinct from
+    #: capacity preemptions).
+    heals: int = 0
 
     @property
     def context_len(self) -> int:
@@ -132,9 +186,22 @@ class RequestLifecycle:
         return self.finish_s is not None
 
     @property
+    def met_deadline(self) -> bool:
+        """Finished in time (best-effort requests always qualify)."""
+        if not self.finished:
+            return False
+        return self.deadline_abs is None or self.finish_s <= self.deadline_abs
+
+    @property
     def phase(self) -> Phase:
         if self.rejected:
             return Phase.REJECTED
+        if self.shed:
+            return Phase.SHED
+        if self.timed_out:
+            return Phase.TIMED_OUT
+        if self.failed:
+            return Phase.FAILED
         if self.finished:
             return Phase.FINISHED
         if self.seq_id is None:
@@ -160,6 +227,7 @@ def poisson_trace(
     output_jitter: float = 0.0,
     shared_prefix_fraction: float = 0.0,
     prefix_groups: int = 1,
+    deadline_s: Optional[float] = None,
 ) -> List[Request]:
     """Build a deterministic Poisson arrival trace.
 
@@ -175,6 +243,9 @@ def poisson_trace(
     ``prefix_groups`` groups).  The prefix length is fixed per trace — not
     jittered — so group members really do share it; jittered prompts are
     clamped to leave at least one private token after the prefix.
+
+    ``deadline_s`` stamps every request with the same relative completion
+    deadline (None leaves the trace best-effort).
     """
     if n_requests <= 0:
         raise ValueError("n_requests must be positive")
@@ -197,6 +268,7 @@ def poisson_trace(
             output_len=_jittered(rng, output_len, output_jitter),
             shared_prefix_len=shared_len,
             prefix_group=i % prefix_groups,
+            deadline_s=deadline_s,
         )
         for i in range(n_requests)
     ]

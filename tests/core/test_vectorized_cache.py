@@ -21,7 +21,7 @@ contract is dual-mode:
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.core.attention import BitDecoding, BitKVCache
@@ -144,6 +144,17 @@ def test_split_decode_bit_exact_vs_reference(bits, n_splits, seed):
     n_blocks=st.floats(1.0, 3.5),
     q_scale=st.floats(0.5, 4.0),
     seed=st.integers(0, 2**31 - 1),
+)
+@example(
+    # Worst MXFP4 divergence found by hypothesis (err ~9.2e-2): pinned so
+    # the committed tolerance always covers it.
+    config=BitDecodingConfig(version="fp4", fp4_format="mxfp4", numerics_mode="exact_tiled"),
+    batch=2,
+    hkv=2,
+    gq=2,
+    n_blocks=2.5625,
+    q_scale=1.75,
+    seed=129953,
 )
 def test_fused_mode_within_documented_tolerance(
     config, batch, hkv, gq, n_blocks, q_scale, seed

@@ -2,11 +2,10 @@
 
 The parity contract: a swap run's decode outputs are bit-identical to a
 *never-swapped* run over the same total page budget — demotion and
-promotion move packed pages without touching a bit.  (Recompute-preempted
-runs are *not* the bit-exactness reference: a replayed prefill attends
-within its chunk in full precision instead of through the quantized
-cache, so recompute legitimately diverges from the uninterrupted
-schedule.)
+promotion move packed pages without touching a bit.  (Recompute replay
+is bit-exact too — the runner re-decodes consumed inputs through the
+quantized cache — but swap runs are the cleaner reference because their
+schedule never re-prefills at all.)
 """
 
 import numpy as np

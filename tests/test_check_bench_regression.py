@@ -198,6 +198,69 @@ class TestCompareOffload:
         assert checker.compare_offload(baseline["offload"], baseline["offload"]) == []
 
 
+def _chaos_point(ratio=0.5, failed=0, retries=7, healed=3):
+    return {
+        "goodput_ratio": ratio,
+        "failed": failed,
+        "transfer_retries": retries,
+        "healed_pages": healed,
+        "shed": 2,
+    }
+
+
+class TestCompareChaos:
+    def test_healthy_point_passes(self):
+        checker = _load_checker()
+        assert checker.compare_chaos(_chaos_point(), _chaos_point()) == []
+
+    def test_goodput_ratio_below_floor_fails(self):
+        checker = _load_checker()
+        failures = checker.compare_chaos(_chaos_point(ratio=0.1))
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+
+    def test_failed_requests_fail_the_gate(self):
+        """The committed plan is recoverable: a FAILED request means the
+        heal budget drained, which is a recovery regression."""
+        checker = _load_checker()
+        failures = checker.compare_chaos(_chaos_point(failed=1))
+        assert len(failures) == 1
+        assert "FAILED" in failures[0]
+
+    def test_unexercised_plan_fails(self):
+        """Zero retries or zero heals means injection stopped reaching
+        the tier store, even if the throughput numbers look fine."""
+        checker = _load_checker()
+        assert checker.compare_chaos(_chaos_point(retries=0))
+        assert checker.compare_chaos(_chaos_point(healed=0))
+
+    def test_floor_reads_from_baseline_explicit_arg_wins(self):
+        checker = _load_checker()
+        point = _chaos_point(ratio=0.42)
+        strict = dict(_chaos_point(), floors={"min_goodput_ratio": 0.45})
+        failures = checker.compare_chaos(point, strict)
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+        assert checker.compare_chaos(point, strict, min_goodput_ratio=0.4) == []
+
+    def test_max_failed_floor_reads_from_baseline(self):
+        checker = _load_checker()
+        lenient = dict(_chaos_point(), floors={"max_failed": 1})
+        assert checker.compare_chaos(_chaos_point(failed=1), lenient) == []
+        assert checker.compare_chaos(_chaos_point(failed=2), lenient)
+
+    def test_missing_fields_fail_not_crash(self):
+        checker = _load_checker()
+        failures = checker.compare_chaos({})
+        assert failures  # unexercised + no ratio, but never a traceback
+
+    def test_committed_chaos_baseline_is_gated_shape(self):
+        """The baseline's chaos entry must itself pass its own floors."""
+        checker = _load_checker()
+        baseline = json.loads((REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+        assert checker.compare_chaos(baseline["chaos"], baseline["chaos"]) == []
+
+
 class TestCli:
     def _run(self, tmp_path, current, baseline, *extra):
         cur = tmp_path / "current.json"
@@ -254,6 +317,26 @@ class TestCli:
         current["offload"] = _offload_point(swap=102.0, recompute=100.0)  # 1.02x
         result = self._run(
             tmp_path, current, copy.deepcopy(baseline), "--min-offload-speedup", "1.5"
+        )
+        assert result.returncode == 1
+        assert "floor" in result.stdout
+
+    def test_chaos_section_mandatory_once_baselined(self, tmp_path, baseline):
+        baseline_with_chaos = copy.deepcopy(baseline)
+        baseline_with_chaos["chaos"] = _chaos_point()
+        result = self._run(tmp_path, copy.deepcopy(baseline), baseline_with_chaos)
+        assert result.returncode == 1
+        assert "chaos: missing" in result.stdout
+        current = copy.deepcopy(baseline)
+        current["chaos"] = _chaos_point()
+        result = self._run(tmp_path, current, baseline_with_chaos)
+        assert result.returncode == 0
+
+    def test_min_goodput_ratio_flag_plumbs_through(self, tmp_path, baseline):
+        current = copy.deepcopy(baseline)
+        current["chaos"] = _chaos_point(ratio=0.5)
+        result = self._run(
+            tmp_path, current, copy.deepcopy(baseline), "--min-goodput-ratio", "0.9"
         )
         assert result.returncode == 1
         assert "floor" in result.stdout
