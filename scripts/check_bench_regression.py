@@ -38,6 +38,17 @@ strictly above recompute at the same device page budget, with the
 speedup at or above ``--min-offload-speedup`` (default 1.0, baseline
 ``offload.floors`` may override), and the run must have actually swapped.
 
+A ``grouped`` section (the grouped-decode point
+``bench_serving_engine.py`` emits alongside the formats) gates the
+batched paged decode: the engine-priced speedup of one grouped kernel
+launch over the per-sequence loop at batch 8 must stay at or above
+``--min-grouped-speedup`` (default 5.0, baseline ``grouped.floors`` may
+override), and the same-machine wall-clock ratio of ``decode_step`` over
+``decode_step_looped`` must stay at or above
+``--min-grouped-wall-speedup`` (default 1.0) — grouping must never lose
+to the loop it replaced.  A baseline that records the section makes it
+mandatory in the current results.
+
 And a ``chaos`` section (see ``benchmarks/bench_chaos.py``): on the
 committed fault plan the run must have exercised recovery (retries and
 healed pages), no request may end FAILED (baseline ``chaos.floors``
@@ -73,6 +84,10 @@ DEFAULT_MAX_FLATNESS = 2.0
 DEFAULT_MIN_HIT_RATE = 0.25
 #: Swap-vs-recompute throughput floor on the over-capacity offload trace.
 DEFAULT_MIN_OFFLOAD_SPEEDUP = 1.0
+#: Engine-priced grouped-vs-looped decode floor at the batch-8 point.
+DEFAULT_MIN_GROUPED_SPEEDUP = 5.0
+#: Wall-clock grouped-vs-looped floor (same-machine ratio).
+DEFAULT_MIN_GROUPED_WALL_SPEEDUP = 1.0
 #: Goodput-under-faults floor relative to fault-free throughput.
 DEFAULT_MIN_GOODPUT_RATIO = 0.35
 #: Requests allowed to end FAILED (heal budget exhausted) on the plan.
@@ -281,6 +296,57 @@ def compare_offload(
     return failures
 
 
+def compare_grouped(
+    grouped: dict,
+    baseline_grouped: dict | None = None,
+    min_priced_speedup: float | None = None,
+    min_wall_speedup: float | None = None,
+) -> list[str]:
+    """Gate the grouped batched-decode point (empty list = pass).
+
+    The priced half is deterministic (analytic latency model over the
+    backend's own pricing surface), so any movement is a code change:
+    falling below the floor means decode stopped launching one kernel
+    per equal-shape group.  The wall half is a same-machine ratio of two
+    code paths doing identical math — grouped ``decode_step`` must never
+    lose to the retained per-sequence loop.  Floors resolve as: explicit
+    argument > the baseline's ``grouped.floors`` entry > the module
+    defaults.
+    """
+    floors = (baseline_grouped or {}).get("floors", {})
+    if min_priced_speedup is None:
+        min_priced_speedup = floors.get("min_priced_speedup", DEFAULT_MIN_GROUPED_SPEEDUP)
+    if min_wall_speedup is None:
+        min_wall_speedup = floors.get("min_wall_speedup", DEFAULT_MIN_GROUPED_WALL_SPEEDUP)
+
+    failures: list[str] = []
+    priced = grouped.get("priced_speedup")
+    wall = grouped.get("wall_speedup")
+    base = baseline_grouped or {}
+    priced_s = "n/a" if priced is None else f"{priced:.2f}x"
+    wall_s = "n/a" if wall is None else f"{wall:.2f}x"
+    print(
+        f"grouped decode: priced speedup {priced_s} at batch "
+        f"{grouped.get('batch', 'n/a')} "
+        f"(floor {min_priced_speedup:.1f}x, "
+        f"baseline {_pct(priced, base.get('priced_speedup'))}), "
+        f"wall {wall_s} (floor {min_wall_speedup:.2f}x, "
+        "same-machine ratio)"
+    )
+    if priced is None or priced < min_priced_speedup:
+        failures.append(
+            f"grouped decode: engine-priced grouped speedup {priced_s} fell "
+            f"below the floor {min_priced_speedup:.1f}x; decode is no longer "
+            "launching one kernel per equal-shape group"
+        )
+    if wall is None or wall < min_wall_speedup:
+        failures.append(
+            f"grouped decode: grouped decode_step wall time is not beating "
+            f"the per-sequence loop ({wall_s}, floor {min_wall_speedup:.2f}x)"
+        )
+    return failures
+
+
 def compare_chaos(
     chaos: dict,
     baseline_chaos: dict | None = None,
@@ -386,6 +452,20 @@ def main(argv: list[str] | None = None) -> int:
         f"(default: baseline floors, else {DEFAULT_MIN_OFFLOAD_SPEEDUP})",
     )
     parser.add_argument(
+        "--min-grouped-speedup",
+        type=float,
+        default=None,
+        help="min engine-priced grouped-vs-looped decode speedup "
+        f"(default: baseline floors, else {DEFAULT_MIN_GROUPED_SPEEDUP})",
+    )
+    parser.add_argument(
+        "--min-grouped-wall-speedup",
+        type=float,
+        default=None,
+        help="min wall-clock grouped-vs-looped decode_step ratio "
+        f"(default: baseline floors, else {DEFAULT_MIN_GROUPED_WALL_SPEEDUP})",
+    )
+    parser.add_argument(
         "--min-goodput-ratio",
         type=float,
         default=None,
@@ -414,6 +494,15 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif baseline.get("offload"):
         failures.append("offload: missing from current results")
+    if current.get("grouped"):
+        failures += compare_grouped(
+            current["grouped"],
+            baseline.get("grouped"),
+            min_priced_speedup=args.min_grouped_speedup,
+            min_wall_speedup=args.min_grouped_wall_speedup,
+        )
+    elif baseline.get("grouped"):
+        failures.append("grouped decode: missing from current results")
     if current.get("chaos"):
         failures += compare_chaos(
             current["chaos"],

@@ -116,6 +116,50 @@ class PagedBatchHandle(KVCacheHandle):
         return self.seqs[0].seq_len if self.seqs else 0
 
 
+class PagedGroupView:
+    """Batched cache view over one equal-``n_blocks`` shape group.
+
+    Duck-types the same cache interface :meth:`BitDecoding.decode` reads,
+    but with ``batch == len(handles)``: ``dequant_kv`` gathers every
+    member's packed pages into one ``[G, hkv, L, d]`` SoA tensor (through
+    the store's cached gather index maps) and ``residual_kv`` gathers the
+    FP16 residual slots padded to the widest member, with
+    ``residual_lengths`` carrying each member's true fill so the ragged
+    residual kernel can stay tolerance-free.  One ``run_numeric`` call
+    then covers the whole group — the batched-SoA kernel shape the
+    per-sequence loop could never reach.
+    """
+
+    def __init__(self, store: "PagedBitKVCache", handles: List[PagedSeqHandle]):
+        if not handles:
+            raise ValueError("a shape group needs at least one sequence")
+        nb = handles[0].n_blocks
+        if any(h.n_blocks != nb for h in handles):
+            raise ValueError("group members must share n_blocks (the shape key)")
+        self.store = store
+        self.handles = list(handles)
+        self.batch = len(handles)
+        self.residual_lengths = np.asarray([h.res_len for h in handles], dtype=np.int64)
+
+    @property
+    def config(self) -> BitDecodingConfig:
+        return self.store.config
+
+    @property
+    def hkv(self) -> int:
+        return self.store.hkv
+
+    @property
+    def head_dim(self) -> int:
+        return self.store.head_dim
+
+    def dequant_kv(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.store.dequant_group(self.handles)
+
+    def residual_kv(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.store.residual_group(self.handles)
+
+
 class PagedBitKVCache(TierObserver):
     """Page-pool storage for one layer's packed low-bit K/V.
 
@@ -203,6 +247,18 @@ class PagedBitKVCache(TierObserver):
         self.res_k = np.zeros((n_slots, hkv, nr, head_dim), np.float16)
         self.res_v = np.zeros((n_slots, hkv, nr, head_dim), np.float16)
 
+        # Gather-cache epochs (the dequant-memo machinery, store-wide).
+        # ``frames_epoch`` advances whenever the page-id -> frame mapping
+        # can move (tier migrations), invalidating cached gather index
+        # maps but not gathered *values*; ``content_epoch`` advances when
+        # page content or sequence membership changes (CoW remaps, page
+        # clones, corruption, slot churn), invalidating gathered values
+        # too.  Per-sequence handles keep their own append-only memo.
+        self.frames_epoch = 0
+        self.content_epoch = 0
+        self._group_memos: dict = {}
+        self._group_frame_maps: dict = {}
+
     def _pools(self) -> Tuple[np.ndarray, ...]:
         return (self.k_words, self.v_words, self.k_scale, self.k_zero, self.v_scale, self.v_zero)
 
@@ -215,10 +271,12 @@ class PagedBitKVCache(TierObserver):
     # --------------------------------------------------- TierObserver hooks
 
     def copy_frame(self, src: int, dst: int) -> None:
+        self.frames_epoch += 1
         for pool in self._pools():
             pool[dst] = pool[src]
 
     def exchange_frames(self, a: int, b: int) -> None:
+        self.frames_epoch += 1
         for pool in self._pools():
             tmp = pool[a].copy()
             pool[a] = pool[b]
@@ -240,6 +298,8 @@ class PagedBitKVCache(TierObserver):
         damage always changes the frame's checksum — injection can never
         silently miss.
         """
+        self.frames_epoch += 1
+        self.content_epoch += 1
         flat = self.k_words[frame].reshape(-1)
         idx = salt % flat.size
         # (salt | 1) keeps the low bit set, so the mask is never zero.
@@ -271,6 +331,7 @@ class PagedBitKVCache(TierObserver):
                 f"all {self.slots.n_pages} residual slots in use; release "
                 "finished sequences or construct the pool with more n_slots"
             ) from err
+        self.content_epoch += 1
         handle = PagedSeqHandle(self, seq_id, slot)
         handle.seq_len = prefix_tokens
         return handle
@@ -306,6 +367,7 @@ class PagedBitKVCache(TierObserver):
                 f"all {self.slots.n_pages} residual slots in use; release "
                 "finished sequences or construct the pool with more n_slots"
             ) from err
+        self.content_epoch += 1
         handle = PagedSeqHandle(self, seq_id, slot)
         handle.seq_len = seq_len
         if n_res:
@@ -336,6 +398,7 @@ class PagedBitKVCache(TierObserver):
 
     def free_slot(self, handle: PagedSeqHandle) -> None:
         """Return the residual slot; the scheduler owns the pages."""
+        self.content_epoch += 1
         self.slots.release(handle.slot)
         handle._dequant_memo = None
 
@@ -416,9 +479,12 @@ class PagedBitKVCache(TierObserver):
         before the write — and since pages are only ever written whole,
         no content copy is needed, just the remap.
         """
-        pages = [
-            self.table.ensure_exclusive(handle.seq_id, first_block + i)[0] for i in range(nb)
-        ]
+        pages = []
+        for i in range(nb):
+            page, copied_from = self.table.ensure_exclusive(handle.seq_id, first_block + i)
+            if copied_from is not None:
+                self.content_epoch += 1
+            pages.append(page)
         idx = self._frames(pages)
         self.k_words[idx] = flushed.k_words[0].swapaxes(0, 1)
         self.v_words[idx] = flushed.v_words[0].swapaxes(0, 1)
@@ -426,6 +492,121 @@ class PagedBitKVCache(TierObserver):
         self.k_zero[idx] = flushed.k_params.zero[0].swapaxes(0, 1)
         self.v_scale[idx] = flushed.v_params.scale[0].swapaxes(0, 1)
         self.v_zero[idx] = flushed.v_params.zero[0].swapaxes(0, 1)
+
+    def append_rows(self, handles: List[PagedSeqHandle], k_rows: np.ndarray, v_rows: np.ndarray) -> None:
+        """Append ONE token to every handle at once (``[B, hkv, d]`` rows).
+
+        The decode-step write path, batched: one fancy-index scatter lands
+        every sequence's new row in its residual slot at its own fill, and
+        the sequences whose slot just filled are flushed through a single
+        leading-dim-batched :func:`flush_blocks` call — bit-identical to
+        per-sequence :meth:`write_rows` by per-block independence.
+        """
+        k_rows = np.asarray(k_rows, np.float16)
+        v_rows = np.asarray(v_rows, np.float16)
+        if k_rows.shape != v_rows.shape or k_rows.ndim != 3 or k_rows.shape[0] != len(handles):
+            raise ValueError("K and V rows must share a [batch, hkv, d] shape")
+        for handle in handles:
+            seq = self.table.sequences[handle.seq_id]
+            if handle.seq_len + 1 > seq.length:
+                raise ValueError(
+                    f"write of 1 tokens at {handle.seq_len} exceeds the "
+                    f"sequence's reserved length ({seq.length}); reserve pages first"
+                )
+        nr = self.block_tokens
+        slots = np.asarray([h.slot for h in handles])
+        fills = np.asarray([h.seq_len % nr for h in handles])
+        self.res_k[slots, :, fills] = k_rows
+        self.res_v[slots, :, fills] = v_rows
+        flushing: List[PagedSeqHandle] = []
+        for handle in handles:
+            handle.seq_len += 1
+            if handle.seq_len % nr == 0:
+                flushing.append(handle)
+        if flushing:
+            fslots = np.asarray([h.slot for h in flushing])
+            flushed = flush_blocks(
+                self.res_k[fslots][:, :, None], self.res_v[fslots][:, :, None], self.config
+            )
+            self._store_blocks_group(flushing, flushed)
+
+    def write_rows_group(
+        self, handles: List[PagedSeqHandle], k_rows: np.ndarray, v_rows: np.ndarray
+    ) -> None:
+        """Bulk-write ``n`` tokens to every handle at once (``[G, hkv, n, d]``).
+
+        The no-query prefill write path, batched: every handle must sit at
+        a block-aligned fill (fresh admissions do), so the complete blocks
+        flush through one ``[G, hkv, nb, N_r, d]`` :func:`flush_blocks`
+        call and the common remainder scatters into the residual slots in
+        one assignment — bit-identical to per-sequence :meth:`write_rows`.
+        """
+        k_rows = np.asarray(k_rows, np.float16)
+        v_rows = np.asarray(v_rows, np.float16)
+        if k_rows.shape != v_rows.shape or k_rows.ndim != 4 or k_rows.shape[0] != len(handles):
+            raise ValueError("K and V rows must share a [batch, hkv, n, d] shape")
+        n = k_rows.shape[2]
+        nr = self.block_tokens
+        for handle in handles:
+            if handle.seq_len % nr:
+                raise ValueError("write_rows_group requires block-aligned fills")
+            seq = self.table.sequences[handle.seq_id]
+            if handle.seq_len + n > seq.length:
+                raise ValueError(
+                    f"write of {n} tokens at {handle.seq_len} exceeds the "
+                    f"sequence's reserved length ({seq.length}); reserve pages first"
+                )
+        nb, rem = divmod(n, nr)
+        if nb:
+            shape = (len(handles), self.hkv, nb, nr, self.head_dim)
+            flushed = flush_blocks(
+                k_rows[:, :, : nb * nr].reshape(shape),
+                v_rows[:, :, : nb * nr].reshape(shape),
+                self.config,
+            )
+            self._store_blocks_group(handles, flushed, advance=nb * nr)
+        if rem:
+            slots = np.asarray([h.slot for h in handles])
+            self.res_k[slots, :, :rem] = k_rows[:, :, nb * nr :]
+            self.res_v[slots, :, :rem] = v_rows[:, :, nb * nr :]
+            for handle in handles:
+                handle.seq_len += rem
+
+    def _store_blocks_group(
+        self, handles: List[PagedSeqHandle], flushed: PackedBlockBatch, advance: int = 0
+    ) -> None:
+        """Write one batched flush (batch axis = handles) into pages.
+
+        With ``advance`` the flush holds ``advance // N_r`` *new* blocks
+        per handle starting at its current length (bulk prefill); without
+        it the flush holds each handle's just-completed block (decode
+        append).  Same whole-page copy-on-write guard as
+        :meth:`_store_blocks`.
+        """
+        nr = self.block_tokens
+        nb = flushed.k_words.shape[2]
+        pages: List[int] = []
+        for handle in handles:
+            first = handle.seq_len // nr if advance else handle.seq_len // nr - nb
+            for i in range(nb):
+                page, copied_from = self.table.ensure_exclusive(handle.seq_id, first + i)
+                if copied_from is not None:
+                    self.content_epoch += 1
+                pages.append(page)
+            if advance:
+                handle.seq_len += advance
+        idx = self._frames(pages)
+
+        def rows(tensor: np.ndarray) -> np.ndarray:
+            # [G, hkv, nb, ...] -> [G*nb, hkv, ...] in page-list order.
+            return tensor.swapaxes(1, 2).reshape((len(pages),) + tensor.shape[1:2] + tensor.shape[3:])
+
+        self.k_words[idx] = rows(flushed.k_words)
+        self.v_words[idx] = rows(flushed.v_words)
+        self.k_scale[idx] = rows(flushed.k_params.scale)
+        self.k_zero[idx] = rows(flushed.k_params.zero)
+        self.v_scale[idx] = rows(flushed.v_params.scale)
+        self.v_zero[idx] = rows(flushed.v_params.zero)
 
     def copy_pages(self, src: List[int], dst: List[int]) -> None:
         """Clone packed words + metadata between physical pages.
@@ -439,6 +620,7 @@ class PagedBitKVCache(TierObserver):
             raise ValueError("src and dst page lists must have equal length")
         if not src:
             return
+        self.content_epoch += 1
         s, d = self._frames(src), self._frames(dst)
         self.k_words[d] = self.k_words[s]
         self.v_words[d] = self.v_words[s]
@@ -523,6 +705,157 @@ class PagedBitKVCache(TierObserver):
             self.res_v[handle.slot][None, :, :n],
         )
 
+    # ------------------------------------------------------- grouped reads
+
+    #: Bound on cached gather maps / group dequant memos.  Keys are the
+    #: exact member tuple, so scheduler churn retires entries naturally;
+    #: the cap just keeps pathological churn from hoarding memory.
+    _GROUP_CACHE_ENTRIES = 32
+
+    @staticmethod
+    def _cache_put(cache: dict, key, entry) -> None:
+        cache.pop(key, None)
+        cache[key] = entry
+        while len(cache) > PagedBitKVCache._GROUP_CACHE_ENTRIES:
+            cache.pop(next(iter(cache)))
+
+    def group_view(self, handles: List[PagedSeqHandle]) -> PagedGroupView:
+        """A batched decode view over one equal-``n_blocks`` group."""
+        return PagedGroupView(self, handles)
+
+    def _group_frames(self, key, handles: List[PagedSeqHandle], nb: int) -> np.ndarray:
+        """Cached ``np.take`` index map ``[G, nb]`` into the pool arrays.
+
+        Valid while both epochs stand; a pure append extends the cached
+        map with just the new pages' frames (block tables are append-only
+        for live handles).  Callers fault pages in *first* — a promotion
+        moves frames and must bump ``frames_epoch`` before the map is
+        built, not after.
+        """
+        entry = self._group_frame_maps.get(key)
+        if (
+            entry is not None
+            and entry["frames_epoch"] == self.frames_epoch
+            and entry["content_epoch"] == self.content_epoch
+            and entry["nb"] <= nb
+        ):
+            have = entry["nb"]
+            if have == nb:
+                return entry["map"]
+            fresh = np.asarray(
+                [self.table.sequences[h.seq_id].pages[have:nb] for h in handles]
+            )
+            fmap = np.concatenate(
+                [entry["map"], self._frames(fresh.reshape(-1)).reshape(len(handles), nb - have)],
+                axis=1,
+            )
+        else:
+            pages = np.asarray([self.table.sequences[h.seq_id].pages[:nb] for h in handles])
+            fmap = self._frames(pages.reshape(-1)).reshape(len(handles), nb)
+        self._cache_put(
+            self._group_frame_maps,
+            key,
+            {
+                "nb": nb,
+                "frames_epoch": self.frames_epoch,
+                "content_epoch": self.content_epoch,
+                "map": fmap,
+            },
+        )
+        return fmap
+
+    def _dequant_pages_group(
+        self, key, handles: List[PagedSeqHandle], lo: int, hi: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather blocks ``[lo, hi)`` of every member and dequantize batched.
+
+        One fancy-index gather per pool assembles the ``[G, hkv, ...]``
+        SoA tensors; dequant is per-block independent, so the batched
+        reconstruction is bit-identical to per-sequence gathers.
+        """
+        if self.tiers is not None:
+            self.tiers.fault_in(
+                [int(p) for h in handles for p in self.table.sequences[h.seq_id].pages[lo:hi]]
+            )
+        fmap = self._group_frames(key, handles, hi)[:, lo:hi].reshape(-1)
+
+        def gather(pool: np.ndarray) -> np.ndarray:
+            flat = pool.take(fmap, axis=0)
+            shaped = flat.reshape((len(handles), hi - lo) + pool.shape[1:])
+            return np.ascontiguousarray(shaped.swapaxes(1, 2))
+
+        batch = PackedBlockBatch(
+            length=self.block_tokens,
+            head_dim=self.head_dim,
+            bits=self.config.bits,
+            word_bits=self.config.word_bits,
+            layout_name=self._layout_name,
+            k_words=gather(self.k_words),
+            v_words=gather(self.v_words),
+            k_params=QuantParams(
+                scale=gather(self.k_scale),
+                zero=gather(self.k_zero),
+                axis=self._k_axis,
+                group_size=self._k_group,
+                bits=self.config.bits,
+            ),
+            v_params=QuantParams(
+                scale=gather(self.v_scale),
+                zero=gather(self.v_zero),
+                axis=self._v_axis,
+                group_size=self._v_group,
+                bits=self.config.bits,
+            ),
+        )
+        return batch.dequant_kv(self.config)
+
+    def dequant_group(self, handles: List[PagedSeqHandle]) -> Tuple[np.ndarray, np.ndarray]:
+        """FP32 ``[G, hkv, packed_len, d]`` group reconstruction, memoized.
+
+        The memo is keyed by the exact ``(seq_id, slot)`` member tuple and
+        guarded by ``content_epoch``; while the group composition holds
+        (steady-state decode), each step extends it with one batched
+        dequant of the newly flushed block column instead of rebuilding
+        O(context) state.
+        """
+        nb = handles[0].n_blocks
+        if nb == 0:
+            empty = np.zeros((len(handles), self.hkv, 0, self.head_dim), np.float32)
+            return empty, empty
+        key = tuple((h.seq_id, h.slot) for h in handles)
+        memo = self._group_memos.get(key)
+        if memo is not None and memo["epoch"] == self.content_epoch and memo["nb"] <= nb:
+            if memo["nb"] == nb:
+                return memo["kv"]
+            k_new, v_new = self._dequant_pages_group(key, handles, memo["nb"], nb)
+            kv = (
+                np.concatenate([memo["kv"][0], k_new], axis=2),
+                np.concatenate([memo["kv"][1], v_new], axis=2),
+            )
+        else:
+            kv = self._dequant_pages_group(key, handles, 0, nb)
+        self._cache_put(self._group_memos, key, {"nb": nb, "epoch": self.content_epoch, "kv": kv})
+        return kv
+
+    def residual_group(self, handles: List[PagedSeqHandle]) -> Tuple[np.ndarray, np.ndarray]:
+        """FP16 residual rows gathered ``[G, hkv, r_max, d]``, zero-padded.
+
+        Rows past a member's fill are zeroed (slots hold stale rows from
+        earlier fills); the ragged residual kernel masks their score
+        columns to ``-inf`` anyway, but the contract is that pad K *and*
+        V rows are exact zeros.
+        """
+        res = [h.res_len for h in handles]
+        r_max = max(res)
+        slots = np.asarray([h.slot for h in handles])
+        k = self.res_k[slots][:, :, :r_max].copy()
+        v = self.res_v[slots][:, :, :r_max].copy()
+        for g, r in enumerate(res):
+            if r < r_max:
+                k[g, :, r:] = 0
+                v[g, :, r:] = 0
+        return k, v
+
     # ------------------------------------------------------------ accounting
 
     @property
@@ -552,9 +885,11 @@ class PagedBitBackend(AttentionBackend):
     is admitted next, which is the serving contract preemption relies on
     (and what the page-recycling tests exercise through this API).
     Sequences in a handle may have *different* lengths (ragged serving
-    batches): decode loops per sequence, each through the very same
-    :meth:`BitDecoding.decode` kernel path the contiguous backend uses,
-    against that sequence's gathered pages.
+    batches): decode partitions the batch into equal-shape groups
+    (:meth:`_decode_groups`) and launches ONE batched kernel per group
+    over a gathered ``[group, hkv, ...]`` SoA view — bit-identical to
+    the retained per-sequence loop (:meth:`decode_step_looped`), because
+    both run the very same :meth:`BitDecoding.decode` numeric path.
     """
 
     name = "paged-bit"
@@ -614,34 +949,96 @@ class PagedBitBackend(AttentionBackend):
         bt: PagedBatchHandle = block_table
         k, v = kv
         n = k.shape[2]
+        if q is None:
+            # Batched write path: reserve first (same page-id assignment
+            # order as the per-sequence loop), then bulk-write every
+            # block-aligned member through one batched flush.
+            for seqh in bt.seqs:
+                bt.store.reserve(seqh, n)
+            aligned = [b for b, s in enumerate(bt.seqs) if s.res_len == 0]
+            if len(aligned) > 1:
+                bt.store.write_rows_group(
+                    [bt.seqs[b] for b in aligned], k[aligned], v[aligned]
+                )
+            else:
+                aligned = []
+            for b, seqh in enumerate(bt.seqs):
+                if b not in aligned:
+                    bt.store.write_rows(seqh, k[b], v[b])
+            return None
         outs = []
         for b, seqh in enumerate(bt.seqs):
-            ctx_k, ctx_v = self._context(seqh) if q is not None else (None, None)
+            ctx_k, ctx_v = self._context(seqh)
             bt.store.reserve(seqh, n)
             bt.store.write_rows(seqh, k[b], v[b])
-            if q is not None:
-                out = chunked_causal_attention(
-                    q[b : b + 1], ctx_k, ctx_v, k[b : b + 1], v[b : b + 1]
-                )
-                outs.append(out)
-        if q is None:
-            return None
+            out = chunked_causal_attention(
+                q[b : b + 1], ctx_k, ctx_v, k[b : b + 1], v[b : b + 1]
+            )
+            outs.append(out)
         return np.concatenate(outs, axis=0)
 
     def append_kv(self, kv: Tuple[np.ndarray, np.ndarray], block_table: KVCacheHandle) -> None:
         bt: PagedBatchHandle = block_table
         k, v = kv
-        for b, seqh in enumerate(bt.seqs):
+        for seqh in bt.seqs:
             bt.store.reserve(seqh, 1)
-            bt.store.write_rows(seqh, k[b][:, None], v[b][:, None])
+        bt.store.append_rows(bt.seqs, k, v)
+
+    def _decode_groups(self, seqs: List[PagedSeqHandle]) -> List[List[int]]:
+        """Partition a ragged batch into equal-shape decode groups.
+
+        The shape key is ``n_blocks`` — the packed tile walk must share
+        its extent to batch into one ``run_numeric`` call — with ragged
+        residual fills padded inside the group (tolerance-free contract in
+        :func:`~repro.core.residual_kernel.attend_residual_grouped`).
+        Configs on the broken non-cooperative softmax are
+        partition-sensitive, so they group by exact ``(n_blocks,
+        res_len)`` instead.  Group order is first occurrence in the batch,
+        which fixes the fault_in order deterministically.
+        """
+        ragged_ok = self.config.use_coop_softmax or self.config.effective_wn == 1
+        groups: dict = {}
+        for b, seqh in enumerate(seqs):
+            key = seqh.n_blocks if ragged_ok else (seqh.n_blocks, seqh.res_len)
+            groups.setdefault(key, []).append(b)
+        return list(groups.values())
 
     def decode_step(self, q: np.ndarray, block_table: KVCacheHandle) -> np.ndarray:
         bt: PagedBatchHandle = block_table
+        if len(bt.seqs) <= 1:
+            return self.decode_step_looped(q, bt)
+        tiers = bt.store.tiers
+        groups = self._decode_groups(bt.seqs)
+        if tiers is not None:
+            # Overlap model at group granularity: while a group's batched
+            # tile walk runs, the next group's non-resident pages stream
+            # in.  Only the first group faults synchronously.
+            tiers.fault_in([p for b in groups[0] for p in bt.seqs[b].block_ids])
+        outs: List[Optional[np.ndarray]] = [None] * len(bt.seqs)
+        for gi, idxs in enumerate(groups):
+            if tiers is not None and gi + 1 < len(groups):
+                tiers.fault_in(
+                    [p for b in groups[gi + 1] for p in bt.seqs[b].block_ids], prefetch=True
+                )
+            if len(idxs) == 1:
+                b = idxs[0]
+                outs[b] = self.engine.decode(q[b : b + 1], bt.seqs[b])
+            else:
+                view = bt.store.group_view([bt.seqs[b] for b in idxs])
+                out = self.engine.decode(q[idxs], view)
+                for j, b in enumerate(idxs):
+                    outs[b] = out[j : j + 1]
+        return np.concatenate(outs, axis=0)
+
+    def decode_step_looped(self, q: np.ndarray, block_table: KVCacheHandle) -> np.ndarray:
+        """The pre-grouping reference path: one decode per sequence.
+
+        Retained as the parity baseline (grouped decode must match it
+        bit-for-bit) and as the bench's looped comparator.
+        """
+        bt: PagedBatchHandle = block_table
         tiers = bt.store.tiers
         if tiers is not None and bt.seqs:
-            # Overlap model: while sequence b's tile walk runs, the next
-            # sequence's non-resident pages stream in.  Only the first
-            # sequence has nothing to hide behind — it faults synchronously.
             tiers.fault_in(bt.seqs[0].block_ids)
         outs = []
         for b, seqh in enumerate(bt.seqs):

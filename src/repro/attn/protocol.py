@@ -119,11 +119,26 @@ class AttentionBackend(abc.ABC):
 
         return prefill_time_ms(model, arch, prompt_len, n_gpus)
 
-    def decode_step_ms(self, model, arch, batch: int, seq_len: int, n_gpus: int = 1) -> float:
-        """One end-to-end decode step at a serving point."""
+    def decode_step_ms(
+        self,
+        model,
+        arch,
+        batch: int,
+        seq_len: int,
+        n_gpus: int = 1,
+        decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> float:
+        """One end-to-end decode step at a serving point.
+
+        ``decode_groups`` — ``(group_batch, group_seq_len)`` per
+        equal-shape kernel launch — prices grouped batched decode; omit it
+        for one launch over the whole batch at ``seq_len``.
+        """
         from repro.model.inference import decode_step_ms
 
-        return decode_step_ms(model, arch, self.attention_system, batch, seq_len, n_gpus)
+        return decode_step_ms(
+            model, arch, self.attention_system, batch, seq_len, n_gpus, decode_groups
+        )
 
     def mixed_step_ms(
         self,
@@ -133,6 +148,7 @@ class AttentionBackend(abc.ABC):
         decode_seq_len: int,
         prefill_chunks: Sequence[Tuple[int, int]],
         n_gpus: int = 1,
+        decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> float:
         """One mixed prefill+decode scheduler quantum."""
         from repro.model.inference import mixed_step_ms
@@ -145,6 +161,7 @@ class AttentionBackend(abc.ABC):
             decode_seq_len,
             prefill_chunks,
             n_gpus,
+            decode_groups,
         )
 
 

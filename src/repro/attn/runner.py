@@ -194,6 +194,45 @@ class ModelRunner:
         self.decoded.setdefault(lc.request.req_id, []).append(np.array(h[0], np.float32))
         self.executed_tokens += 1
 
+    def decode_batch(self, lcs) -> None:
+        """Advance every decode-ready sequence by one token, grouped.
+
+        Sequences at the same position run as ONE batched transformer
+        step: they share the memoized RoPE table, the projections are
+        already leading-dim-batched matmuls (bit-identical per row to a
+        batch-1 step), and the per-layer group handle lets the paged
+        backend batch the cache writes and gather equal-shape caches into
+        single grouped kernel calls.  Output scatter mirrors the
+        sequential :meth:`decode` loop exactly, so executed streams are
+        bit-identical to per-sequence decode.
+        """
+        groups: Dict[int, list] = {}
+        for lc in lcs:
+            prog = self._programs[lc.request.req_id]
+            groups.setdefault(prog.session.positions, []).append((lc, prog))
+        for pos, members in groups.items():
+            if len(members) == 1:
+                self.decode(members[0][0])
+                continue
+            xs = np.stack([prog.pending for _, prog in members])
+            for _, prog in members:
+                prog.inputs.append(prog.pending)
+            gsession = CacheSession(
+                caches=[
+                    PagedBatchHandle(
+                        self.stores[i], [prog.handles[i].seqs[0] for _, prog in members]
+                    )
+                    for i in range(len(self.stores))
+                ],
+                positions=pos,
+            )
+            h = self.tt.decode_step(xs, gsession)
+            for g, (lc, prog) in enumerate(members):
+                prog.pending = h[g]
+                prog.session.positions += 1
+                self.decoded.setdefault(lc.request.req_id, []).append(np.array(h[g], np.float32))
+                self.executed_tokens += 1
+
     def _free(self, prog: _SequenceProgram) -> None:
         for handle in prog.handles:
             for seqh in handle.seqs:

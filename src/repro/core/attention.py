@@ -35,6 +35,7 @@ from repro.core.residual_kernel import (
     Fp4BlockBatch,
     PackedBlockBatch,
     attend_residual,
+    attend_residual_grouped,
     build_residual_launch,
     flush_blocks,
 )
@@ -304,7 +305,13 @@ class BitDecoding:
                 states.append(run_numeric(grouped, k_hat, v_hat, self.config, scale))
         k_res, v_res = cache.residual_kv()
         if k_res.shape[-2]:
-            states.append(attend_residual(grouped, k_res, v_res, self.config, scale))
+            res_lens = getattr(cache, "residual_lengths", None)
+            if res_lens is not None:
+                states.append(
+                    attend_residual_grouped(grouped, k_res, v_res, res_lens, self.config, scale)
+                )
+            else:
+                states.append(attend_residual(grouped, k_res, v_res, self.config, scale))
         if not states:
             raise ValueError("decode on an empty cache")
         merged = states[0]

@@ -591,6 +591,80 @@ def attend_residual(
     return state
 
 
+def attend_residual_grouped(
+    q_grouped: np.ndarray,
+    k_res: np.ndarray,
+    v_res: np.ndarray,
+    res_lens: np.ndarray,
+    config: BitDecodingConfig,
+    scale: Optional[float] = None,
+) -> OnlineSoftmaxState:
+    """Residual attention for a ragged shape group, padded bit-exactly.
+
+    ``q_grouped`` is ``[G, hkv, M, d]``; ``k_res``/``v_res`` are
+    ``[G, hkv, r_max, d]`` where member ``g`` owns rows ``[0, res_lens[g])``
+    and the tail rows are zero padding.  The padding contract is
+    tolerance-free: the result is bit-identical to running
+    :func:`attend_residual` per member on its unpadded rows, because
+
+    - each member's score rows are computed by a matmul over exactly its
+      ``res_lens[g]`` keys (a wider padded GEMM routes through a different
+      BLAS kernel and drifts in the last bit), with pad columns then set to
+      ``-inf`` so ``exp`` maps them to exact ``0.0`` and the zero value
+      rows contribute exact zeros to the PV accumulation, and
+    - the softmax denominator is summed per member over exactly the
+      warp-padded width the per-sequence kernel uses
+      (``ceil(r_g / wn) * wn`` columns), reproducing its summation tree —
+      a shared full-width sum would regroup numpy's pairwise reduction and
+      drift in the last bit.
+
+    Only the cooperative softmax (or ``wn == 1``) admits ragged padding:
+    the broken non-cooperative path is partition-sensitive by design, so
+    callers must group such configs by exact residual fill instead.
+    """
+    res_lens = np.asarray(res_lens, dtype=np.int64)
+    r_max = k_res.shape[-2]
+    if r_max == 0 or np.all(res_lens == r_max):
+        return attend_residual(q_grouped, k_res, v_res, config, scale)
+    if not (config.use_coop_softmax or config.effective_wn == 1):
+        raise ValueError(
+            "ragged residual grouping requires the cooperative softmax; "
+            "group by exact residual fill for non-cooperative configs"
+        )
+    q_grouped = np.asarray(q_grouped, dtype=np.float32)
+    k_res = np.asarray(k_res, dtype=np.float32)
+    v_res = np.asarray(v_res, dtype=np.float32)
+    if scale is None:
+        scale = 1.0 / math.sqrt(q_grouped.shape[-1])
+    wn = config.effective_wn
+    n_pad = -(-r_max // wn) * wn
+    G, hkv = k_res.shape[0], k_res.shape[1]
+    M = q_grouped.shape[-2]
+    d = v_res.shape[-1]
+    # Per-member QK^T at each member's true width (bit-exactness; see
+    # docstring) — residual tiles are at most ``N_r`` keys, so this loop is
+    # negligible next to the grouped packed-cache matmul.
+    s = np.full((G, hkv, M, n_pad), -np.inf, dtype=np.float32)
+    v_tile = np.zeros((G, hkv, n_pad, d), dtype=np.float32)
+    v_tile[..., :r_max, :] = v_res
+    for g, r in enumerate(res_lens.tolist()):
+        if r:
+            s[g, ..., :r] = (q_grouped[g] @ np.swapaxes(k_res[g, :, :r], -1, -2)) * scale
+            v_tile[g, :, r:] = 0.0
+    m = s.max(axis=-1)
+    p = np.exp(s - np.where(np.isfinite(m), m, 0.0)[..., None])
+    # ``+ 0.0`` mirrors the fresh-state ``0 * correction + …`` update so
+    # even signed zeros match the per-sequence path.
+    acc = p @ v_tile + 0.0
+    lens = np.zeros(m.shape, dtype=np.float32)
+    for g, r in enumerate(res_lens.tolist()):
+        if r == 0:
+            continue  # fresh-state identity: m=-inf, l=0, acc=0
+        n_g = min(-(-r // wn) * wn, n_pad)
+        lens[g] = p[g, ..., :n_g].sum(axis=-1) + 0.0
+    return OnlineSoftmaxState(m=m, l=lens, acc=acc)
+
+
 # ---------------------------------------------------------------------------
 # Trace builders (performance model)
 # ---------------------------------------------------------------------------

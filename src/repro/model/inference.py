@@ -23,7 +23,7 @@ The attention-system protocol is duck-typed: anything with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence, Tuple
+from typing import Optional, Protocol, Sequence, Tuple
 
 from repro.core.config import AttentionGeometry
 from repro.gpu.arch import ArchSpec
@@ -100,6 +100,35 @@ def prefill_attention_flops(model: ModelConfig, context_len: int, chunk_tokens: 
     return model.n_layers * model.hq * 4.0 * model.head_dim * macs
 
 
+def _grouped_attention_ms(
+    model: ModelConfig,
+    attention: AttentionSystem,
+    batch: int,
+    seq_len: int,
+    decode_groups: Optional[Sequence[Tuple[int, int]]],
+) -> float:
+    """Per-step decode-attention time, one kernel launch per shape group.
+
+    ``decode_groups`` is ``(group_batch, group_seq_len)`` per equal-shape
+    group the backend launches together (``None`` means one launch covers
+    the whole batch at ``seq_len`` — the legacy uniform pricing).  Groups
+    must partition the batch; each is priced at its *own* context length,
+    so a ragged batch no longer pays everyone-at-max, and a batch the
+    backend cannot group (the looped path) prices as ``batch`` batch-1
+    launches by passing one group per sequence.
+    """
+    if decode_groups is None:
+        geom = model.attention_geometry(batch, seq_len)
+        return model.n_layers * attention.decode_time_ms(geom)
+    if sum(b for b, _ in decode_groups) != batch:
+        raise ValueError("decode_groups batches must sum to the step's decode batch")
+    attn_ms = 0.0
+    for group_batch, group_seq_len in decode_groups:
+        geom = model.attention_geometry(group_batch, group_seq_len)
+        attn_ms += model.n_layers * attention.decode_time_ms(geom)
+    return attn_ms
+
+
 def decode_step_breakdown(
     model: ModelConfig,
     arch: ArchSpec,
@@ -107,10 +136,16 @@ def decode_step_breakdown(
     batch: int,
     seq_len: int,
     n_gpus: int = 1,
+    decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> DecodeStepBreakdown:
-    """Full latency breakdown of one decode step."""
-    geom = model.attention_geometry(batch, seq_len)
-    attn_ms = model.n_layers * attention.decode_time_ms(geom)
+    """Full latency breakdown of one decode step.
+
+    ``decode_groups`` prices the attention term per shape-group kernel
+    launch (see :func:`_grouped_attention_ms`); the weight GEMMs, fixed
+    overheads and all-reduce still see the whole batch once — grouping
+    changes how attention is launched, not how many tokens flow.
+    """
+    attn_ms = _grouped_attention_ms(model, attention, batch, seq_len, decode_groups)
     weights_ms = weight_gemm_ms(model, arch, batch, n_gpus)
     overhead_ms = _fixed_overhead_ms(model, arch)
     comm_ms = _allreduce_ms(model, batch, n_gpus)
@@ -129,8 +164,11 @@ def decode_step_ms(
     batch: int,
     seq_len: int,
     n_gpus: int = 1,
+    decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> float:
-    return decode_step_breakdown(model, arch, attention, batch, seq_len, n_gpus).total_ms
+    return decode_step_breakdown(
+        model, arch, attention, batch, seq_len, n_gpus, decode_groups
+    ).total_ms
 
 
 def decode_throughput_tokens_per_s(
@@ -191,6 +229,7 @@ def mixed_step_breakdown(
     decode_seq_len: int,
     prefill_chunks: Sequence[Tuple[int, int]],
     n_gpus: int = 1,
+    decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> MixedStepBreakdown:
     """Price one scheduler step by its token composition.
 
@@ -216,8 +255,9 @@ def mixed_step_breakdown(
     weights_ms = weight_gemm_ms(model, arch, batch=total_tokens, n_gpus=n_gpus)
     attn_ms = 0.0
     if decode_batch > 0:
-        geom = model.attention_geometry(decode_batch, decode_seq_len)
-        attn_ms += model.n_layers * attention.decode_time_ms(geom)
+        attn_ms += _grouped_attention_ms(
+            model, attention, decode_batch, decode_seq_len, decode_groups
+        )
     if prefill_chunks:
         flops = sum(prefill_attention_flops(model, ctx, chunk) for ctx, chunk in prefill_chunks)
         attn_ms += flops / (arch.tc_flops_per_s("fp16") * n_gpus) * 1e3
@@ -239,9 +279,10 @@ def mixed_step_ms(
     decode_seq_len: int,
     prefill_chunks: Sequence[Tuple[int, int]],
     n_gpus: int = 1,
+    decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> float:
     return mixed_step_breakdown(
-        model, arch, attention, decode_batch, decode_seq_len, prefill_chunks, n_gpus
+        model, arch, attention, decode_batch, decode_seq_len, prefill_chunks, n_gpus, decode_groups
     ).total_ms
 
 

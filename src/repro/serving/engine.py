@@ -86,7 +86,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.attn.analytical import AnalyticalBackend
 from repro.attn.protocol import AttentionBackend
@@ -888,6 +888,22 @@ class ContinuousBatchingEngine:
                 lc.finish_s = self._clock
                 self._running.remove(lc)
 
+    def _decode_group_shapes(self, lcs) -> List[Tuple[int, int]]:
+        """Shape groups ``(group_batch, group_seq_len)`` of one decode step.
+
+        Sequences at equal context length share one batched kernel launch
+        (the runner groups by position so RoPE tables match; the paged
+        backend then sees a uniform-shape batch per group) — the step
+        price models exactly those launches instead of ``batch``
+        independent batch-1 launches, and each group pays its *own*
+        context length rather than everyone-at-max.
+        """
+        groups: Dict[int, int] = {}
+        for lc in lcs:
+            length = lc.context_len + 1
+            groups[length] = groups.get(length, 0) + 1
+        return [(count, length) for length, count in groups.items()]
+
     def _decode(self) -> None:
         """One decode step: every resident sequence emits one token."""
         cfg = self.config
@@ -913,13 +929,18 @@ class ContinuousBatchingEngine:
             self._clock += self._charge_step(0.0)
             return
         if self._runner is not None:
-            for lc in self._running:
-                if lc.seq_id is not None:
-                    self._runner.decode(lc)
+            self._runner.decode_batch([lc for lc in self._running if lc.seq_id is not None])
         batch = len(self._running)
         seq_len = max(lc.context_len + 1 for lc in self._running)
         step_s = (
-            self.backend.decode_step_ms(cfg.model, cfg.arch, batch, seq_len, cfg.n_gpus)
+            self.backend.decode_step_ms(
+                cfg.model,
+                cfg.arch,
+                batch,
+                seq_len,
+                cfg.n_gpus,
+                decode_groups=self._decode_group_shapes(self._running),
+            )
             * 1e-3
         )
         self._clock += self._charge_step(step_s)
@@ -953,12 +974,19 @@ class ContinuousBatchingEngine:
             self._clock += self._charge_step(0.0)
             return
         if self._runner is not None:
-            for lc in decoders:
-                self._runner.decode(lc)
+            self._runner.decode_batch(decoders)
         batch = len(decoders)
         seq_len = max((lc.context_len + 1 for lc in decoders), default=0)
         step_s = (
-            self.backend.mixed_step_ms(cfg.model, cfg.arch, batch, seq_len, chunks, cfg.n_gpus)
+            self.backend.mixed_step_ms(
+                cfg.model,
+                cfg.arch,
+                batch,
+                seq_len,
+                chunks,
+                cfg.n_gpus,
+                decode_groups=self._decode_group_shapes(decoders),
+            )
             * 1e-3
         )
         self._clock += self._charge_step(step_s)

@@ -198,6 +198,55 @@ class TestCompareOffload:
         assert checker.compare_offload(baseline["offload"], baseline["offload"]) == []
 
 
+def _grouped_point(priced=7.0, wall=1.5):
+    return {
+        "batch": 8,
+        "seq_len": 16384,
+        "priced_speedup": priced,
+        "wall_speedup": wall,
+    }
+
+
+class TestCompareGrouped:
+    def test_healthy_point_passes(self):
+        checker = _load_checker()
+        assert checker.compare_grouped(_grouped_point(), _grouped_point()) == []
+
+    def test_priced_speedup_below_floor_fails(self):
+        """The priced ratio is deterministic, so falling below the floor
+        means decode stopped launching one kernel per equal-shape group."""
+        checker = _load_checker()
+        failures = checker.compare_grouped(_grouped_point(priced=3.0))
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+
+    def test_wall_clock_losing_to_loop_fails(self):
+        checker = _load_checker()
+        failures = checker.compare_grouped(_grouped_point(wall=0.8))
+        assert len(failures) == 1
+        assert "loop" in failures[0]
+
+    def test_floor_reads_from_baseline_explicit_arg_wins(self):
+        checker = _load_checker()
+        point = _grouped_point(priced=6.0)
+        strict = dict(_grouped_point(), floors={"min_priced_speedup": 6.5})
+        failures = checker.compare_grouped(point, strict)
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+        assert checker.compare_grouped(point, strict, min_priced_speedup=5.0) == []
+
+    def test_missing_fields_fail_not_crash(self):
+        checker = _load_checker()
+        failures = checker.compare_grouped({})
+        assert failures  # no speedups at all, but never a traceback
+
+    def test_committed_grouped_baseline_is_gated_shape(self):
+        """The baseline's grouped entry must itself pass its own floors."""
+        checker = _load_checker()
+        baseline = json.loads((REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+        assert checker.compare_grouped(baseline["grouped"], baseline["grouped"]) == []
+
+
 def _chaos_point(ratio=0.5, failed=0, retries=7, healed=3):
     return {
         "goodput_ratio": ratio,
@@ -317,6 +366,26 @@ class TestCli:
         current["offload"] = _offload_point(swap=102.0, recompute=100.0)  # 1.02x
         result = self._run(
             tmp_path, current, copy.deepcopy(baseline), "--min-offload-speedup", "1.5"
+        )
+        assert result.returncode == 1
+        assert "floor" in result.stdout
+
+    def test_grouped_section_mandatory_once_baselined(self, tmp_path, baseline):
+        baseline_with_grouped = copy.deepcopy(baseline)
+        baseline_with_grouped["grouped"] = _grouped_point()
+        result = self._run(tmp_path, copy.deepcopy(baseline), baseline_with_grouped)
+        assert result.returncode == 1
+        assert "grouped decode: missing" in result.stdout
+        current = copy.deepcopy(baseline)
+        current["grouped"] = _grouped_point()
+        result = self._run(tmp_path, current, baseline_with_grouped)
+        assert result.returncode == 0
+
+    def test_min_grouped_speedup_flag_plumbs_through(self, tmp_path, baseline):
+        current = copy.deepcopy(baseline)
+        current["grouped"] = _grouped_point(priced=7.0)
+        result = self._run(
+            tmp_path, current, copy.deepcopy(baseline), "--min-grouped-speedup", "8.0"
         )
         assert result.returncode == 1
         assert "floor" in result.stdout
