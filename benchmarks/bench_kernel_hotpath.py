@@ -284,17 +284,21 @@ def main(argv=None):
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(result, fh, indent=2)
-        run_dir = write_run(
-            "kernels",
-            {
-                "bench": "kernels",
-                "geometry": result.get("geometry"),
-                "steps": args.steps,
-                "transformer": not args.skip_transformer,
-            },
-            result,
-        )
+    # Every run leaves a config-addressed manifest, --out or not.
+    run_dir = write_run(
+        "kernels",
+        {
+            "bench": "kernels",
+            "geometry": result.get("geometry"),
+            "steps": args.steps,
+            "transformer": not args.skip_transformer,
+        },
+        result,
+    )
+    if args.out:
         print(f"wrote {args.out} and {run_dir}/")
+    else:
+        print(f"wrote {run_dir}/")
     return 0
 
 

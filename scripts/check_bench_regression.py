@@ -49,6 +49,17 @@ override), and the same-machine wall-clock ratio of ``decode_step`` over
 to the loop it replaced.  A baseline that records the section makes it
 mandatory in the current results.
 
+A ``cluster`` section (see ``benchmarks/bench_cluster.py``) gates the
+cluster layer: on the seeded shared-prefix trace whose group count is
+coprime to the replica count, ``prefix_affinity`` routing must beat
+``round_robin`` by at least ``--min-affinity-speedup`` (default 1.0 —
+i.e. strictly better, baseline ``cluster.floors`` may override) with
+zero cross-replica prefix misses, and the tensor-parallel pricing point
+must charge a strictly positive all-reduce tax while pricing the
+per-rank attention kernel strictly below the full-head kernel.  A
+baseline that records the section makes it mandatory in the current
+results.
+
 And a ``chaos`` section (see ``benchmarks/bench_chaos.py``): on the
 committed fault plan the run must have exercised recovery (retries and
 healed pages), no request may end FAILED (baseline ``chaos.floors``
@@ -66,6 +77,7 @@ the baseline::
     python benchmarks/bench_prefix_cache.py --fast --out benchmarks/baseline.json
     python benchmarks/bench_offload.py --fast --out benchmarks/baseline.json
     python benchmarks/bench_chaos.py --fast --out benchmarks/baseline.json
+    python benchmarks/bench_cluster.py --fast --out benchmarks/baseline.json
 """
 
 from __future__ import annotations
@@ -92,6 +104,8 @@ DEFAULT_MIN_GROUPED_WALL_SPEEDUP = 1.0
 DEFAULT_MIN_GOODPUT_RATIO = 0.35
 #: Requests allowed to end FAILED (heal budget exhausted) on the plan.
 DEFAULT_MAX_FAILED = 0
+#: Prefix-affinity-vs-round-robin throughput floor on the cluster trace.
+DEFAULT_MIN_AFFINITY_SPEEDUP = 1.0
 
 
 def _pct(current: float | None, base: float | None) -> str:
@@ -401,6 +415,73 @@ def compare_chaos(
     return failures
 
 
+def compare_cluster(
+    cluster: dict,
+    baseline_cluster: dict | None = None,
+    min_affinity_speedup: float | None = None,
+) -> list[str]:
+    """Gate the cluster serving point (empty list = pass).
+
+    The trace is seeded and the group count is coprime to the replica
+    count, so round-robin genuinely splits every shared-prefix group:
+    affinity losing its edge means routing stopped keeping groups on
+    the replica whose cache holds their pages.  A nonzero cross-replica
+    miss count under ``prefix_affinity`` means the hash stopped being
+    stable.  The TP point is priced analytically, so a vanished
+    all-reduce tax or a per-rank attention kernel that no longer shrinks
+    is a code change, not noise.  The floor resolves as: explicit
+    argument > the baseline's ``cluster.floors`` entry > the module
+    default.
+    """
+    floors = (baseline_cluster or {}).get("floors", {})
+    if min_affinity_speedup is None:
+        min_affinity_speedup = floors.get("min_affinity_speedup", DEFAULT_MIN_AFFINITY_SPEEDUP)
+
+    failures: list[str] = []
+    speedup = cluster.get("affinity_speedup")
+    misses = cluster.get("cross_replica_misses_prefix_affinity")
+    tp = cluster.get("tp") or {}
+    tax = tp.get("allreduce_tax_ms")
+    rank_ms = tp.get("rank_attention_ms")
+    full_ms = tp.get("full_attention_ms")
+    base = baseline_cluster or {}
+    speedup_s = "n/a" if speedup is None else f"{speedup:.3f}x"
+    tax_s = "n/a" if tax is None else f"{tax:.4f} ms"
+    rank_s = "n/a" if rank_ms is None else f"{rank_ms:.4f}"
+    full_s = "n/a" if full_ms is None else f"{full_ms:.4f}"
+    print(
+        f"cluster: affinity speedup {speedup_s} over round-robin "
+        f"(floor {min_affinity_speedup:.2f}x, "
+        f"baseline {_pct(speedup, base.get('affinity_speedup'))}), "
+        f"{misses} cross-replica prefix misses, "
+        f"tp{tp.get('tp', 'n/a')} all-reduce tax {tax_s}, "
+        f"rank attention {rank_s} vs full {full_s} ms"
+    )
+    if speedup is None or speedup <= 1.0 or speedup < min_affinity_speedup:
+        failures.append(
+            f"cluster: prefix-affinity routing is not beating round-robin "
+            f"({speedup_s}, floor {min_affinity_speedup:.2f}x) on the "
+            "shared-prefix trace"
+        )
+    if misses is None or misses > 0:
+        failures.append(
+            f"cluster: prefix_affinity incurred {misses} cross-replica prefix "
+            "misses; the routing hash is no longer keeping groups home"
+        )
+    if tax is None or tax <= 0.0:
+        failures.append(
+            f"cluster: tp pricing charges no all-reduce tax ({tax_s}); the "
+            "interconnect term dropped out of the sharded decode step"
+        )
+    if rank_ms is None or full_ms is None or rank_ms >= full_ms:
+        failures.append(
+            f"cluster: per-rank attention ({rank_s} ms) is not strictly below "
+            f"the full-head kernel ({full_s} ms); head sharding stopped "
+            "shrinking the attention kernel"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_serving.json")
@@ -472,6 +553,13 @@ def main(argv: list[str] | None = None) -> int:
         help="min goodput-under-faults vs fault-free throughput on the "
         f"chaos trace (default: baseline floors, else {DEFAULT_MIN_GOODPUT_RATIO})",
     )
+    parser.add_argument(
+        "--min-affinity-speedup",
+        type=float,
+        default=None,
+        help="min prefix-affinity-vs-round-robin throughput ratio on the "
+        f"cluster trace (default: baseline floors, else {DEFAULT_MIN_AFFINITY_SPEEDUP})",
+    )
     args = parser.parse_args(argv)
     with open(args.current) as fh:
         current = json.load(fh)
@@ -511,6 +599,14 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif baseline.get("chaos"):
         failures.append("chaos: missing from current results")
+    if current.get("cluster"):
+        failures += compare_cluster(
+            current["cluster"],
+            baseline.get("cluster"),
+            min_affinity_speedup=args.min_affinity_speedup,
+        )
+    elif baseline.get("cluster"):
+        failures.append("cluster: missing from current results")
     if args.kernels:
         with open(args.kernels) as fh:
             kernels = json.load(fh)

@@ -15,6 +15,9 @@ Usage::
         --device-pages 8 --host-pages 28 --max-batch 3 --requests 8 \\
         --rate 100000 --prompt-len 40 --output-len 60 --seed 3 \\
         --deadline-ms 6                     # fault injection + recovery proof
+    python -m repro serve-sim --model tiny --execute --tp 2 --replicas 2 \\
+        --router prefix_affinity --prefix-cache --shared-prefix 0.5 \\
+        --prefix-groups 3                   # TP sharding + replica routing
 """
 
 from __future__ import annotations
@@ -119,17 +122,22 @@ def _schedules_match(analytical, executed) -> bool:
     )
 
 
-def _decoded_bit_exact(runner_a, runner_b) -> bool:
-    """Every request's per-step decode hidden states, bit-compared."""
-    if runner_a.decoded.keys() != runner_b.decoded.keys():
+def _decoded_maps_bit_exact(decoded_a, decoded_b) -> bool:
+    """Two ``req_id -> [hidden states]`` maps, bit-compared."""
+    if decoded_a.keys() != decoded_b.keys():
         return False
-    for req_id, steps_a in runner_a.decoded.items():
-        steps_b = runner_b.decoded[req_id]
+    for req_id, steps_a in decoded_a.items():
+        steps_b = decoded_b[req_id]
         if len(steps_a) != len(steps_b):
             return False
         if any(not np.array_equal(a, b) for a, b in zip(steps_a, steps_b)):
             return False
     return True
+
+
+def _decoded_bit_exact(runner_a, runner_b) -> bool:
+    """Every request's per-step decode hidden states, bit-compared."""
+    return _decoded_maps_bit_exact(runner_a.decoded, runner_b.decoded)
 
 
 def _chaos_outputs_recovered(chaos_engine, free_engine) -> bool:
@@ -595,6 +603,235 @@ def _cmd_serve_sim_execute(args, model, arch, trace) -> None:
         sys.exit(1)
 
 
+def _cmd_serve_sim_cluster(args, model, arch, trace) -> None:
+    """Cluster serving: TP-sharded engines behind a data-parallel router.
+
+    ``--tp N`` head-shards each engine's page pool across N tensor-parallel
+    ranks (pricing pays one rank's attention plus the all-reduce tax;
+    ``--execute`` runs rank-local decode through
+    :class:`~repro.cluster.sharding.ShardedPagedBackend` and concatenates
+    head outputs).  ``--replicas M`` fronts M independent engines with a
+    :class:`~repro.cluster.router.Router` dispatching by ``--router``
+    policy.  Under ``--execute`` the run is cross-checked hard: every
+    request must complete exactly once across replicas, each replica's
+    decoded streams must be bit-identical to a single-rank (tp=1) rerun
+    of its dispatched subset, and — without ``--prefix-cache``, whose hit
+    pattern legitimately depends on request co-location — the merged
+    cluster outputs must be bit-identical to one single-rank,
+    single-replica engine running the whole trace.
+    """
+    import json
+
+    from repro.attn import PagedBitBackend
+    from repro.cluster import Router, ShardedPagedBackend
+    from repro.core.attention import BitDecoding
+    from repro.core.config import BitDecodingConfig
+    from repro.model.inference import decode_step_breakdown
+    from repro.model.memory import int_format
+    from repro.serving import ContinuousBatchingEngine, EngineConfig
+
+    tp, replicas = args.tp, args.replicas
+    if args.chaos is not None:
+        print("serve-sim: --chaos does not compose with --tp/--replicas yet")
+        sys.exit(2)
+    if (
+        args.preemption != "recompute"
+        or args.device_pages is not None
+        or args.host_pages is not None
+        or args.disk_pages
+    ):
+        print(
+            "serve-sim: --preemption swap and the tier sizes do not compose "
+            "with --tp/--replicas yet; use recompute preemption"
+        )
+        sys.exit(2)
+    if args.n_gpus not in (1, tp):
+        print(
+            f"serve-sim: --tp {tp} spans one replica's GPUs, so --n-gpus must "
+            f"equal the tp degree (or be left at its default 1); got "
+            f"--n-gpus {args.n_gpus}"
+        )
+        sys.exit(2)
+    kernel_config = BitDecodingConfig(bits=4, wn=1)
+    kernel = BitDecoding(kernel_config, arch)
+    nr = kernel_config.residual_block_size
+    if args.execute:
+        if args.page_size is not None or args.residual_window is not None:
+            print(
+                "serve-sim: --execute derives --page-size and "
+                "--residual-window from the kernel's residual block size "
+                "N_r; drop those flags"
+            )
+            sys.exit(2)
+        if model.param_count > 1e6:
+            print(
+                f"serve-sim: --execute runs real numerics and {model.name} "
+                f"has {model.param_count / 1e9:.1f}B parameters; use a toy "
+                "model (e.g. --model tiny)"
+            )
+            sys.exit(2)
+        page_size = nr
+        n_pages = 96 if args.pages is None else args.pages
+        worst = max(trace, key=lambda r: r.total_len, default=None)
+        if worst is not None and -(-worst.total_len // nr) > n_pages:
+            need = -(-worst.total_len // nr)
+            print(
+                f"serve-sim: request {worst.req_id} needs {need} pages for "
+                f"its {worst.total_len}-token context but the page pool "
+                f"holds only {n_pages}; raise --pages to at least {need}"
+            )
+            sys.exit(2)
+        residual_window = nr
+    else:
+        if args.pages is not None:
+            print("serve-sim: --pages only applies to --execute runs")
+            sys.exit(2)
+        page_size = 64 if args.page_size is None else args.page_size
+        n_pages = None
+        residual_window = 64 if args.residual_window is None else args.residual_window
+    common = dict(
+        model=model,
+        arch=arch,
+        fmt=int_format(4, model, residual_window=residual_window),
+        page_size=page_size,
+        n_pages=n_pages,
+        max_batch=args.max_batch,
+        n_gpus=tp,
+        tp=tp,
+        max_steps=args.steps,
+        prefill_chunk_tokens=args.prefill_chunk,
+        prefix_cache=args.prefix_cache,
+    )
+    if args.execute:
+        backend = (
+            ShardedPagedBackend(kernel, tp=tp) if tp > 1 else PagedBitBackend(kernel)
+        )
+        config = EngineConfig(
+            backend=backend, execute=True, execute_seed=args.seed, **common
+        )
+    else:
+        config = EngineConfig(attention=kernel, **common)
+    router = Router(config, trace, replicas=replicas, policy=args.router)
+    cluster = router.run()
+
+    checks = {}
+    if args.execute:
+        handled = sorted(
+            lc.request.req_id for engine in router.engines for lc in engine.lifecycles
+        )
+        finished = [
+            lc.request.req_id
+            for engine in router.engines
+            for lc in engine.lifecycles
+            if lc.finished
+        ]
+        checks["exactly_once_across_replicas"] = (
+            handled == sorted(r.req_id for r in trace)
+            and len(finished) == len(set(finished)) == len(trace)
+        )
+        # Single-rank references: rerun each replica's dispatched subset on
+        # a tp=1 engine of the same config.  The schedule may differ (tp
+        # pricing moves the clock) but decode numerics are schedule-
+        # independent, so the streams must match bit for bit.
+        single = {**common, "n_gpus": 1, "tp": 1}
+        bit_exact = True
+        for engine in router.engines:
+            subset = [lc.request for lc in engine.lifecycles]
+            reference = ContinuousBatchingEngine(
+                EngineConfig(
+                    backend=PagedBitBackend(kernel),
+                    execute=True,
+                    execute_seed=args.seed,
+                    **single,
+                ),
+                subset,
+            )
+            reference.run()
+            if not _decoded_bit_exact(engine._runner, reference._runner):
+                bit_exact = False
+        checks["tp_decode_bit_exact_vs_single_rank"] = bit_exact
+        if not args.prefix_cache:
+            whole = ContinuousBatchingEngine(
+                EngineConfig(
+                    backend=PagedBitBackend(kernel),
+                    execute=True,
+                    execute_seed=args.seed,
+                    **single,
+                ),
+                trace,
+            )
+            whole.run()
+            merged = {}
+            for engine in router.engines:
+                merged.update(engine._runner.decoded)
+            checks["cluster_bit_exact_vs_single_engine"] = _decoded_maps_bit_exact(
+                merged, whole._runner.decoded
+            )
+    ok = all(checks.values())
+
+    peak = max((r.peak_resident_batch for r in cluster.per_replica), default=0) or 1
+    seq = max((r.total_len for r in trace), default=1)
+    sharded = decode_step_breakdown(model, arch, kernel, peak, seq, n_gpus=tp, tp=tp)
+    full = decode_step_breakdown(model, arch, kernel, peak, seq)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "model": model.name,
+                    "arch": arch.name,
+                    "mode": "cluster-execute" if args.execute else "cluster",
+                    "tp": tp,
+                    "replicas": replicas,
+                    "router": args.router,
+                    "allreduce_tax_ms": sharded.comm_ms,
+                    "rank_attention_ms": sharded.attention_ms,
+                    "full_attention_ms": full.attention_ms,
+                    "checks": checks,
+                    "cluster": cluster.to_dict(),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"serve-sim cluster: {model.name} on {arch.name} | INT4, "
+            f"tp {tp} x {replicas} replica{'s' if replicas != 1 else ''}, "
+            f"router {args.router}"
+            + (", prefix cache on" if args.prefix_cache else "")
+            + (", executed" if args.execute else ", analytical")
+        )
+        print(
+            f"  aggregate: {cluster.completed} done of {cluster.n_requests}, "
+            f"{cluster.sustained_tokens_per_s:.1f} tok/s "
+            f"(goodput {cluster.goodput_tokens_per_s:.1f}), "
+            f"p99 ttft {cluster.p99_ttft_s if cluster.p99_ttft_s is None else round(cluster.p99_ttft_s, 4)} s, "
+            f"p99 tbt {cluster.p99_tbt_s if cluster.p99_tbt_s is None else round(cluster.p99_tbt_s * 1e3, 3)} ms"
+        )
+        print(
+            f"  routing: dispatch {cluster.dispatch_counts}, "
+            f"imbalance {cluster.load_imbalance:.2f}, prefix groups "
+            f"{cluster.prefix_groups_seen} ({cluster.prefix_groups_split} split), "
+            f"cross-replica prefix misses {cluster.cross_replica_prefix_misses}"
+        )
+        if tp > 1:
+            print(
+                f"  tp pricing: all-reduce tax {sharded.comm_ms:.4f} ms/step, "
+                f"rank attention {sharded.attention_ms:.4f} ms vs full "
+                f"{full.attention_ms:.4f} ms (batch {peak}, seq {seq})"
+            )
+        for i, r in enumerate(cluster.per_replica):
+            print(
+                f"  replica {i}: {cluster.dispatch_counts[i]} requests, "
+                f"done {r.completed}, {r.sustained_tokens_per_s:.1f} tok/s, "
+                f"preemptions {r.preemptions}"
+                + (f", prefix hit rate {r.prefix_hit_rate:.3f}" if args.prefix_cache else "")
+            )
+        for name, value in checks.items():
+            print(f"  check {name}: {value}")
+    if not ok:
+        sys.exit(1)
+
+
 def _cmd_serve_sim(args) -> None:
     import json
 
@@ -625,6 +862,21 @@ def _cmd_serve_sim(args) -> None:
                 "apply to --chaos runs"
             )
             sys.exit(2)
+        if args.tp < 1 or args.replicas < 1:
+            print(
+                f"serve-sim: --tp and --replicas must be >= 1 "
+                f"(got tp={args.tp}, replicas={args.replicas})"
+            )
+            sys.exit(2)
+        if args.replicas == 1 and args.router != "round_robin":
+            print(
+                f"serve-sim: --router {args.router} routes across replicas; "
+                "pass --replicas > 1 (or drop --router)"
+            )
+            sys.exit(2)
+        if args.tp > 1 or args.replicas > 1:
+            _cmd_serve_sim_cluster(args, model, arch, trace)
+            return
         if args.chaos is not None:
             _cmd_serve_sim_chaos(args, model, arch, trace)
             return
@@ -762,6 +1014,31 @@ def main(argv=None) -> None:
         "incompatible with --execute, which uses N_r)",
     )
     serve.add_argument("--n-gpus", type=int, default=1)
+    serve.add_argument(
+        "--tp",
+        type=int,
+        default=1,
+        help="tensor-parallel degree per engine: the KV-head space is "
+        "sharded across tp ranks behind shared block tables (must divide "
+        "the model's KV-head count; pricing pays one rank's attention "
+        "plus the all-reduce tax, --execute cross-checks rank-local "
+        "decode bit-exactly against a single-rank run)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="data-parallel engine replicas behind the request router",
+    )
+    serve.add_argument(
+        "--router",
+        choices=("round_robin", "least_loaded", "prefix_affinity"),
+        default="round_robin",
+        help="dispatch policy across --replicas engines: round_robin, "
+        "least_loaded (fewest in-flight requests), or prefix_affinity "
+        "(shared-prefix groups land on the replica whose prefix cache "
+        "already holds their pages)",
+    )
     serve.add_argument("--steps", type=int, default=None, help="scheduler step cap")
     serve.add_argument(
         "--prefill-chunk",

@@ -924,6 +924,25 @@ class PagedBitBackend(AttentionBackend):
             self._stores[key] = store
         return store
 
+    def make_store(
+        self,
+        hkv: int,
+        head_dim: int,
+        *,
+        n_slots: int,
+        table: Optional[PageTable] = None,
+        tiers: Optional[TieredPageStore] = None,
+    ):
+        """Build one per-layer store over an external (scheduler) table.
+
+        The :class:`~repro.attn.runner.ModelRunner` constructs its
+        per-layer pools through this hook rather than instantiating
+        :class:`PagedBitKVCache` directly, so a backend can substitute its
+        own storage layout — the tensor-parallel backend returns a
+        composite store holding one rank-local pool per shard.
+        """
+        return PagedBitKVCache(self.config, hkv, head_dim, n_slots=n_slots, table=table, tiers=tiers)
+
     def new_handle(self, batch: int, hkv: int, head_dim: int) -> PagedBatchHandle:
         store = self.store_for(hkv, head_dim)
         return PagedBatchHandle(store, [store.add_sequence() for _ in range(batch)])

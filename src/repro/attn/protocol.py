@@ -127,17 +127,19 @@ class AttentionBackend(abc.ABC):
         seq_len: int,
         n_gpus: int = 1,
         decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
+        tp: int = 1,
     ) -> float:
         """One end-to-end decode step at a serving point.
 
         ``decode_groups`` — ``(group_batch, group_seq_len)`` per
         equal-shape kernel launch — prices grouped batched decode; omit it
-        for one launch over the whole batch at ``seq_len``.
+        for one launch over the whole batch at ``seq_len``.  ``tp``
+        head-shards the attention kernel across tensor-parallel ranks.
         """
         from repro.model.inference import decode_step_ms
 
         return decode_step_ms(
-            model, arch, self.attention_system, batch, seq_len, n_gpus, decode_groups
+            model, arch, self.attention_system, batch, seq_len, n_gpus, decode_groups, tp
         )
 
     def mixed_step_ms(
@@ -149,6 +151,7 @@ class AttentionBackend(abc.ABC):
         prefill_chunks: Sequence[Tuple[int, int]],
         n_gpus: int = 1,
         decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
+        tp: int = 1,
     ) -> float:
         """One mixed prefill+decode scheduler quantum."""
         from repro.model.inference import mixed_step_ms
@@ -162,6 +165,7 @@ class AttentionBackend(abc.ABC):
             prefill_chunks,
             n_gpus,
             decode_groups,
+            tp,
         )
 
 

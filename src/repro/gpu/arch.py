@@ -88,6 +88,13 @@ class ArchSpec:
     #: newer machine (the paper reports ~35% penalty on Hopper).
     legacy_path_efficiency: float = 1.0
 
+    # --- interconnect (tensor-parallel all-reduce) ------------------------------
+    #: All-reduce bandwidth per GPU (NVLink-class for the datacenter parts;
+    #: the default is the A100 SXM figure behind the 70B/8xA100 row).
+    nvlink_bw_gbs: float = 300.0
+    #: Fixed all-reduce latency per layer per step (microseconds).
+    allreduce_latency_us: float = 10.0
+
     def __post_init__(self) -> None:
         if self.generation not in GENERATIONS:
             raise ValueError(
@@ -97,6 +104,10 @@ class ArchSpec:
             raise ValueError("sm_count and clock_ghz must be positive")
         if self.has_native_fp4 and self.tc_fp4_tflops <= 0:
             raise ValueError("native FP4 support requires tc_fp4_tflops > 0")
+        if self.nvlink_bw_gbs <= 0 or self.allreduce_latency_us < 0:
+            raise ValueError(
+                "nvlink_bw_gbs must be positive and allreduce_latency_us non-negative"
+            )
 
     # --- derived quantities -------------------------------------------------
 

@@ -60,12 +60,27 @@ class ModelConfig:
         """KV-cache bytes one token adds across all layers."""
         return 2.0 * self.n_layers * self.hkv * self.head_dim * bits_per_value / 8.0
 
-    def attention_geometry(self, batch: int, seq_len: int, q_len: int = 1) -> AttentionGeometry:
-        """Per-layer decode-attention geometry at a serving point."""
+    def attention_geometry(
+        self, batch: int, seq_len: int, q_len: int = 1, tp: int = 1
+    ) -> AttentionGeometry:
+        """Per-layer decode-attention geometry at a serving point.
+
+        ``tp`` head-shards the geometry across tensor-parallel ranks: each
+        rank runs ``hq/tp`` query heads over ``hkv/tp`` KV heads (whole GQA
+        groups — ``tp`` must divide ``hkv``), so one rank's kernel is what
+        a TP step pays for attention.
+        """
+        if tp < 1:
+            raise ValueError("tp must be >= 1")
+        if self.hkv % tp != 0:
+            raise ValueError(
+                f"{self.name}: tp={tp} does not divide hkv={self.hkv}; "
+                "tensor parallelism shards whole KV-head groups"
+            )
         return AttentionGeometry(
             batch=batch,
-            hq=self.hq,
-            hkv=self.hkv,
+            hq=self.hq // tp,
+            hkv=self.hkv // tp,
             seq_len=seq_len,
             head_dim=self.head_dim,
             q_len=q_len,

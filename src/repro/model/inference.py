@@ -29,10 +29,6 @@ from repro.core.config import AttentionGeometry
 from repro.gpu.arch import ArchSpec
 from repro.model.config import ModelConfig
 
-#: NVLink all-reduce bandwidth per GPU (A100 SXM, for the 70B/8xA100 row).
-_NVLINK_BW_GBS = 300.0
-#: Fixed all-reduce latency per layer per step.
-_ALLREDUCE_LATENCY_US = 10.0
 #: Non-attention kernels per layer (norms, GEMM launches) after CUDA-graph
 #: style batching.
 _AUX_LAUNCHES_PER_LAYER = 1.5
@@ -74,13 +70,17 @@ def _fixed_overhead_ms(model: ModelConfig, arch: ArchSpec) -> float:
     return model.n_layers * _AUX_LAUNCHES_PER_LAYER * arch.kernel_launch_us * 1e-3
 
 
-def _allreduce_ms(model: ModelConfig, tokens: int, n_gpus: int) -> float:
-    """Tensor-parallel all-reduce tax for one step over ``tokens`` tokens."""
+def _allreduce_ms(model: ModelConfig, arch: ArchSpec, tokens: int, n_gpus: int) -> float:
+    """Tensor-parallel all-reduce tax for one step over ``tokens`` tokens.
+
+    Bandwidth and fixed latency come from the :class:`ArchSpec`
+    interconnect fields, so TP pricing is per-architecture.
+    """
     if n_gpus <= 1:
         return 0.0
     bytes_per_layer = 2.0 * tokens * model.hidden * 2.0  # two all-reduces
     return model.n_layers * (
-        bytes_per_layer / (_NVLINK_BW_GBS * 1e9) * 1e3 + _ALLREDUCE_LATENCY_US * 1e-3
+        bytes_per_layer / (arch.nvlink_bw_gbs * 1e9) * 1e3 + arch.allreduce_latency_us * 1e-3
     )
 
 
@@ -106,6 +106,7 @@ def _grouped_attention_ms(
     batch: int,
     seq_len: int,
     decode_groups: Optional[Sequence[Tuple[int, int]]],
+    tp: int = 1,
 ) -> float:
     """Per-step decode-attention time, one kernel launch per shape group.
 
@@ -116,15 +117,19 @@ def _grouped_attention_ms(
     so a ragged batch no longer pays everyone-at-max, and a batch the
     backend cannot group (the looped path) prices as ``batch`` batch-1
     launches by passing one group per sequence.
+
+    ``tp`` shards the head space: each rank runs the same kernel over
+    ``hq/tp`` query heads and ``hkv/tp`` KV heads, and ranks run
+    concurrently, so the step pays one rank's (smaller) attention time.
     """
     if decode_groups is None:
-        geom = model.attention_geometry(batch, seq_len)
+        geom = model.attention_geometry(batch, seq_len, tp=tp)
         return model.n_layers * attention.decode_time_ms(geom)
     if sum(b for b, _ in decode_groups) != batch:
         raise ValueError("decode_groups batches must sum to the step's decode batch")
     attn_ms = 0.0
     for group_batch, group_seq_len in decode_groups:
-        geom = model.attention_geometry(group_batch, group_seq_len)
+        geom = model.attention_geometry(group_batch, group_seq_len, tp=tp)
         attn_ms += model.n_layers * attention.decode_time_ms(geom)
     return attn_ms
 
@@ -137,18 +142,21 @@ def decode_step_breakdown(
     seq_len: int,
     n_gpus: int = 1,
     decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
+    tp: int = 1,
 ) -> DecodeStepBreakdown:
     """Full latency breakdown of one decode step.
 
     ``decode_groups`` prices the attention term per shape-group kernel
     launch (see :func:`_grouped_attention_ms`); the weight GEMMs, fixed
     overheads and all-reduce still see the whole batch once — grouping
-    changes how attention is launched, not how many tokens flow.
+    changes how attention is launched, not how many tokens flow.  ``tp``
+    head-shards the attention kernel across ranks (the weight GEMMs and
+    all-reduce already scale through ``n_gpus``).
     """
-    attn_ms = _grouped_attention_ms(model, attention, batch, seq_len, decode_groups)
+    attn_ms = _grouped_attention_ms(model, attention, batch, seq_len, decode_groups, tp=tp)
     weights_ms = weight_gemm_ms(model, arch, batch, n_gpus)
     overhead_ms = _fixed_overhead_ms(model, arch)
-    comm_ms = _allreduce_ms(model, batch, n_gpus)
+    comm_ms = _allreduce_ms(model, arch, batch, n_gpus)
     return DecodeStepBreakdown(
         weights_ms=weights_ms,
         attention_ms=attn_ms,
@@ -165,9 +173,10 @@ def decode_step_ms(
     seq_len: int,
     n_gpus: int = 1,
     decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
+    tp: int = 1,
 ) -> float:
     return decode_step_breakdown(
-        model, arch, attention, batch, seq_len, n_gpus, decode_groups
+        model, arch, attention, batch, seq_len, n_gpus, decode_groups, tp
     ).total_ms
 
 
@@ -230,6 +239,7 @@ def mixed_step_breakdown(
     prefill_chunks: Sequence[Tuple[int, int]],
     n_gpus: int = 1,
     decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
+    tp: int = 1,
 ) -> MixedStepBreakdown:
     """Price one scheduler step by its token composition.
 
@@ -256,7 +266,7 @@ def mixed_step_breakdown(
     attn_ms = 0.0
     if decode_batch > 0:
         attn_ms += _grouped_attention_ms(
-            model, attention, decode_batch, decode_seq_len, decode_groups
+            model, attention, decode_batch, decode_seq_len, decode_groups, tp=tp
         )
     if prefill_chunks:
         flops = sum(prefill_attention_flops(model, ctx, chunk) for ctx, chunk in prefill_chunks)
@@ -265,7 +275,7 @@ def mixed_step_breakdown(
         weights_ms=weights_ms,
         attention_ms=attn_ms,
         overhead_ms=_fixed_overhead_ms(model, arch),
-        comm_ms=_allreduce_ms(model, total_tokens, n_gpus),
+        comm_ms=_allreduce_ms(model, arch, total_tokens, n_gpus),
         prefill_tokens=prefill_tokens,
         decode_tokens=decode_batch,
     )
@@ -280,9 +290,18 @@ def mixed_step_ms(
     prefill_chunks: Sequence[Tuple[int, int]],
     n_gpus: int = 1,
     decode_groups: Optional[Sequence[Tuple[int, int]]] = None,
+    tp: int = 1,
 ) -> float:
     return mixed_step_breakdown(
-        model, arch, attention, decode_batch, decode_seq_len, prefill_chunks, n_gpus, decode_groups
+        model,
+        arch,
+        attention,
+        decode_batch,
+        decode_seq_len,
+        prefill_chunks,
+        n_gpus,
+        decode_groups,
+        tp,
     ).total_ms
 
 

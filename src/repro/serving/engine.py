@@ -151,6 +151,14 @@ class EngineConfig:
     n_pages: Optional[int] = None
     max_batch: int = 384
     n_gpus: int = 1
+    #: Tensor-parallel degree: the KV-head space is sharded across ``tp``
+    #: ranks (whole GQA groups, so ``tp`` must divide the model's KV-head
+    #: count) and each decode step pays one rank's attention plus the
+    #: all-reduce tax.  ``tp > 1`` spans the engine's GPUs, so it must
+    #: equal ``n_gpus``; with ``execute=True`` the backend must be a
+    #: :class:`~repro.cluster.sharding.ShardedPagedBackend` of the same
+    #: degree.
+    tp: int = 1
     #: Cap on scheduler iterations (one admission phase + one decode step
     #: each); None runs the trace to completion.
     max_steps: Optional[int] = None
@@ -244,7 +252,25 @@ class EngineConfig:
         if self.max_batch <= 0:
             raise ValueError("max_batch must be positive")
         if self.n_gpus <= 0:
-            raise ValueError("n_gpus must be positive")
+            raise ValueError(
+                f"n_gpus must be positive, got {self.n_gpus}; the engine "
+                "needs at least one GPU to schedule on"
+            )
+        if self.tp < 1:
+            raise ValueError(f"tp must be >= 1, got {self.tp}")
+        if self.model.hkv % self.tp != 0:
+            divisors = [d for d in range(1, self.model.hkv + 1) if self.model.hkv % d == 0]
+            raise ValueError(
+                f"tp={self.tp} does not divide {self.model.name}'s KV-head "
+                f"count ({self.model.hkv}); tensor parallelism shards whole "
+                f"GQA head groups, so pick tp in {divisors}"
+            )
+        if self.tp > 1 and self.n_gpus != self.tp:
+            raise ValueError(
+                f"tp={self.tp} spans the engine's GPUs, so n_gpus must equal "
+                f"tp (got n_gpus={self.n_gpus}); data parallelism is layered "
+                "on top via cluster replicas, not n_gpus"
+            )
         if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens <= 0:
             raise ValueError("prefill_chunk_tokens must be positive (or None)")
         if self.attention is None and self.backend is None:
@@ -274,6 +300,27 @@ class EngineConfig:
                     "allocates real per-layer pools for every page, so a "
                     "device-memory-derived pool would be enormous"
                 )
+            if self.tp > 1:
+                if self.preemption == "swap":
+                    raise ValueError(
+                        "tp > 1 with execute=True does not support "
+                        'preemption="swap" yet: the swap path stashes one '
+                        "store's residual slot, which a sharded store "
+                        "splits across ranks; use recompute preemption "
+                        "(analytical tp+swap pricing is fine)"
+                    )
+                # Duck-typed (the cluster package imports this module, so
+                # importing ShardedPagedBackend here would cycle): any
+                # backend advertising a matching ``tp`` degree shards the
+                # head space the way the runner expects.
+                if getattr(self.backend, "tp", 1) != self.tp:
+                    raise ValueError(
+                        f"tp={self.tp} with execute=True needs a "
+                        "ShardedPagedBackend of the same degree (e.g. "
+                        f"ShardedPagedBackend(..., tp={self.tp})); got "
+                        f"{type(self.backend).__name__} with "
+                        f"tp={getattr(self.backend, 'tp', 1)}"
+                    )
 
     def resolve_backend(self) -> AttentionBackend:
         """The backend the engine schedules with (wrapping ``attention``)."""
@@ -352,15 +399,12 @@ class ContinuousBatchingEngine:
                 tiers=self.tiers,
             )
         self.lifecycles: List[RequestLifecycle] = [
-            RequestLifecycle(r)
+            self._make_lifecycle(r)
             for r in sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         ]
-        if config.deadline_policy is not None:
-            default = config.deadline_policy.default_deadline_s
-            for lc in self.lifecycles:
-                rel = lc.request.deadline_s if lc.request.deadline_s is not None else default
-                if rel is not None:
-                    lc.deadline_abs = lc.request.arrival_s + rel
+        #: Not-yet-arrived requests, sorted by arrival time; drained into
+        #: the wait queue as the clock passes them.
+        self._pending: Deque[RequestLifecycle] = deque(self.lifecycles)
         self._queue: Deque[RequestLifecycle] = deque()
         self._running: List[RequestLifecycle] = []
         #: Swap-preempted sequences: pages still mapped (demoted off the
@@ -389,6 +433,57 @@ class ContinuousBatchingEngine:
         self._slow_step_stall_s = 0.0
 
     # ------------------------------------------------------------- scheduling
+
+    def _make_lifecycle(self, request: Request) -> RequestLifecycle:
+        """Wrap a request, stamping its absolute deadline from the policy."""
+        lc = RequestLifecycle(request)
+        policy = self.config.deadline_policy
+        if policy is not None:
+            rel = request.deadline_s if request.deadline_s is not None else policy.default_deadline_s
+            if rel is not None:
+                lc.deadline_abs = request.arrival_s + rel
+        return lc
+
+    # ----------------------------------------------------------- router surface
+
+    @property
+    def clock_s(self) -> float:
+        """Current simulation time."""
+        return self._clock
+
+    @property
+    def load_requests(self) -> int:
+        """Requests the engine is responsible for but has not finished:
+        queued, resident, swapped out, and submitted-but-not-yet-arrived.
+        The router's ``least_loaded`` policy reads this as queue depth."""
+        return len(self._queue) + len(self._running) + len(self._swapped) + len(self._pending)
+
+    @property
+    def resident_pages(self) -> int:
+        """Physical pages currently held by resident/swapped sequences."""
+        return self.allocator.used_pages
+
+    @property
+    def tbt_samples(self) -> List[float]:
+        """Per-token inter-arrival samples (for merged cluster percentiles)."""
+        return list(self._tbt_samples)
+
+    def submit(self, request: Request) -> RequestLifecycle:
+        """Hand the engine one more request (router dispatch path).
+
+        Requests must be submitted in arrival order — the pending queue is
+        a sorted deque, exactly like a trace passed to the constructor.
+        """
+        if self._pending and request.arrival_s < self._pending[-1].request.arrival_s:
+            raise ValueError(
+                f"requests must be submitted in arrival order: "
+                f"{request.arrival_s} arrives before the pending tail "
+                f"{self._pending[-1].request.arrival_s}"
+            )
+        lc = self._make_lifecycle(request)
+        self.lifecycles.append(lc)
+        self._pending.append(lc)
+        return lc
 
     def _pages_needed(self, tokens: int) -> int:
         return -(-tokens // self.config.page_size)
@@ -626,7 +721,7 @@ class ContinuousBatchingEngine:
         prefill_ms = self.backend.prefill_time_ms(cfg.model, cfg.arch, lc.context_len, cfg.n_gpus)
         batch = len(self._running) + 1
         step_ms = self.backend.decode_step_ms(
-            cfg.model, cfg.arch, batch, lc.request.total_len, cfg.n_gpus
+            cfg.model, cfg.arch, batch, lc.request.total_len, cfg.n_gpus, tp=cfg.tp
         )
         remaining = lc.request.output_len - lc.generated
         return (prefill_ms + step_ms * remaining) * 1e-3
@@ -940,6 +1035,7 @@ class ContinuousBatchingEngine:
                 seq_len,
                 cfg.n_gpus,
                 decode_groups=self._decode_group_shapes(self._running),
+                tp=cfg.tp,
             )
             * 1e-3
         )
@@ -986,6 +1082,7 @@ class ContinuousBatchingEngine:
                 chunks,
                 cfg.n_gpus,
                 decode_groups=self._decode_group_shapes(decoders),
+                tp=cfg.tp,
             )
             * 1e-3
         )
@@ -1034,44 +1131,79 @@ class ContinuousBatchingEngine:
 
     # -------------------------------------------------------------------- run
 
-    def run(self) -> ServingReport:
-        """Drive the trace to completion (or the step cap) and report."""
-        chunked = self.config.prefill_chunk_tokens is not None
-        pending: Deque[RequestLifecycle] = deque(self.lifecycles)
-        while True:
-            while pending and pending[0].request.arrival_s <= self._clock:
-                self._queue.append(pending.popleft())
-            if not self._queue and not self._running and not self._swapped:
-                if not pending:
-                    break
-                self._clock = pending[0].request.arrival_s
-                continue
-            if self.config.max_steps is not None and self._steps >= self.config.max_steps:
-                break
-            self._steps += 1
+    def _drain_arrivals(self) -> None:
+        """Move every pending request whose arrival has passed to the queue."""
+        while self._pending and self._pending[0].request.arrival_s <= self._clock:
+            self._queue.append(self._pending.popleft())
+
+    def _tick(self) -> bool:
+        """One scheduler iteration; False when the engine cannot advance
+        (trace drained or the step cap hit).
+
+        Exactly one iteration of the classic ``run()`` loop: drain
+        arrivals, jump the clock over idle gaps, then one admission phase
+        plus one decode/mixed step with the tier, deadline and audit
+        machinery around it.
+        """
+        self._drain_arrivals()
+        if not self._queue and not self._running and not self._swapped:
+            if not self._pending:
+                return False
+            self._clock = self._pending[0].request.arrival_s
+            self._drain_arrivals()
+        if self.config.max_steps is not None and self._steps >= self.config.max_steps:
+            return False
+        self._steps += 1
+        if self.tiers is not None:
+            self.tiers.start_step()
+            self._resume_swapped()
+            self._heal_bad_pages()
+        if self.config.prefill_chunk_tokens is not None:
+            self._admit_chunked()
             if self.tiers is not None:
-                self.tiers.start_step()
-                self._resume_swapped()
+                self._swap_out_overflow()
                 self._heal_bad_pages()
-            if chunked:
-                self._admit_chunked()
-                if self.tiers is not None:
-                    self._swap_out_overflow()
-                    self._heal_bad_pages()
-                self._mixed_step()
-            else:
-                self._admit()
-                if self.tiers is not None:
-                    self._swap_out_overflow()
-                    self._heal_bad_pages()
-                self._decode()
-            self._enforce_deadlines()
-            self._assert_conservation()
-            if self.auditor is not None and self._steps % self.config.audit_every == 0:
-                self.auditor.audit(self._steps)
+            self._mixed_step()
+        else:
+            self._admit()
+            if self.tiers is not None:
+                self._swap_out_overflow()
+                self._heal_bad_pages()
+            self._decode()
+        self._enforce_deadlines()
+        self._assert_conservation()
+        if self.auditor is not None and self._steps % self.config.audit_every == 0:
+            self.auditor.audit(self._steps)
+        return True
+
+    def advance_until(self, t_s: float) -> None:
+        """Step the engine until its clock reaches ``t_s`` or it goes idle.
+
+        The router's lock-step driver: replicas advance to each arrival
+        before the dispatch decision, so ``least_loaded`` reads loads as
+        of the arrival instant.  Steps are atomic — the clock may overshoot
+        ``t_s`` by a fraction of a step, just as it does in ``run()``.
+        An idle engine does not jump its clock past ``t_s``: it waits for
+        whatever is submitted next.
+        """
+        while self._clock < t_s:
+            if not self._queue and not self._running and not self._swapped:
+                if not self._pending or self._pending[0].request.arrival_s > t_s:
+                    return
+            if not self._tick():
+                return
+
+    def finish(self) -> ServingReport:
+        """Final audit + report (after ``advance_until`` drove the trace)."""
         if self.auditor is not None:
             self.auditor.audit()
         return self._report()
+
+    def run(self) -> ServingReport:
+        """Drive the trace to completion (or the step cap) and report."""
+        while self._tick():
+            pass
+        return self.finish()
 
     def _report(self) -> ServingReport:
         finished = [lc for lc in self.lifecycles if lc.finished]

@@ -1,0 +1,1 @@
+"""Cluster layer: TP sharding, routing, merged reports."""

@@ -310,6 +310,71 @@ class TestCompareChaos:
         assert checker.compare_chaos(baseline["chaos"], baseline["chaos"]) == []
 
 
+def _cluster_point(speedup=1.4, misses=0, tax=0.35, rank=6.2, full=13.7):
+    return {
+        "affinity_speedup": speedup,
+        "cross_replica_misses_prefix_affinity": misses,
+        "tp": {
+            "tp": 2,
+            "allreduce_tax_ms": tax,
+            "rank_attention_ms": rank,
+            "full_attention_ms": full,
+        },
+    }
+
+
+class TestCompareCluster:
+    def test_healthy_point_passes(self):
+        checker = _load_checker()
+        assert checker.compare_cluster(_cluster_point(), _cluster_point()) == []
+
+    def test_affinity_not_beating_round_robin_fails(self):
+        """The default floor is 1.0 *strict*: a speedup of exactly 1.0
+        means affinity routing stopped buying anything."""
+        checker = _load_checker()
+        assert checker.compare_cluster(_cluster_point(speedup=1.0))
+        assert checker.compare_cluster(_cluster_point(speedup=0.9))
+        assert checker.compare_cluster(_cluster_point(speedup=1.2)) == []
+
+    def test_cross_replica_misses_fail(self):
+        checker = _load_checker()
+        failures = checker.compare_cluster(_cluster_point(misses=3))
+        assert len(failures) == 1
+        assert "cross-replica" in failures[0]
+
+    def test_vanished_allreduce_tax_fails(self):
+        checker = _load_checker()
+        failures = checker.compare_cluster(_cluster_point(tax=0.0))
+        assert len(failures) == 1
+        assert "all-reduce" in failures[0]
+
+    def test_unsharded_attention_fails(self):
+        checker = _load_checker()
+        failures = checker.compare_cluster(_cluster_point(rank=13.7, full=13.7))
+        assert len(failures) == 1
+        assert "sharding" in failures[0]
+
+    def test_floor_reads_from_baseline_explicit_arg_wins(self):
+        checker = _load_checker()
+        point = _cluster_point(speedup=1.2)
+        strict = dict(_cluster_point(), floors={"min_affinity_speedup": 1.3})
+        failures = checker.compare_cluster(point, strict)
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+        assert checker.compare_cluster(point, strict, min_affinity_speedup=1.1) == []
+
+    def test_missing_fields_fail_not_crash(self):
+        checker = _load_checker()
+        failures = checker.compare_cluster({})
+        assert failures  # no speedup, no tp sub-dict, but never a traceback
+
+    def test_committed_cluster_baseline_is_gated_shape(self):
+        """The baseline's cluster entry must itself pass its own floors."""
+        checker = _load_checker()
+        baseline = json.loads((REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+        assert checker.compare_cluster(baseline["cluster"], baseline["cluster"]) == []
+
+
 class TestCli:
     def _run(self, tmp_path, current, baseline, *extra):
         cur = tmp_path / "current.json"
@@ -406,6 +471,26 @@ class TestCli:
         current["chaos"] = _chaos_point(ratio=0.5)
         result = self._run(
             tmp_path, current, copy.deepcopy(baseline), "--min-goodput-ratio", "0.9"
+        )
+        assert result.returncode == 1
+        assert "floor" in result.stdout
+
+    def test_cluster_section_mandatory_once_baselined(self, tmp_path, baseline):
+        baseline_with_cluster = copy.deepcopy(baseline)
+        baseline_with_cluster["cluster"] = _cluster_point()
+        result = self._run(tmp_path, copy.deepcopy(baseline), baseline_with_cluster)
+        assert result.returncode == 1
+        assert "cluster: missing" in result.stdout
+        current = copy.deepcopy(baseline)
+        current["cluster"] = _cluster_point()
+        result = self._run(tmp_path, current, baseline_with_cluster)
+        assert result.returncode == 0
+
+    def test_min_affinity_speedup_flag_plumbs_through(self, tmp_path, baseline):
+        current = copy.deepcopy(baseline)
+        current["cluster"] = _cluster_point(speedup=1.2)
+        result = self._run(
+            tmp_path, current, copy.deepcopy(baseline), "--min-affinity-speedup", "1.5"
         )
         assert result.returncode == 1
         assert "floor" in result.stdout

@@ -172,3 +172,78 @@ class TestServeSimPrefixCache:
         out = capsys.readouterr().out
         assert "prefix cache on" not in out
         assert "hit %" not in out
+
+
+class TestServeSimCluster:
+    _ARGS = [
+        "serve-sim", "--model", "tiny", "--execute",
+        "--tp", "2", "--replicas", "2", "--router", "prefix_affinity",
+        "--prefix-cache", "--requests", "8", "--rate", "200",
+        "--prompt-len", "96", "--output-len", "12",
+        "--shared-prefix", "0.5", "--prefix-groups", "3", "--seed", "3",
+    ]
+
+    def test_executed_cluster_passes_all_checks(self, capsys):
+        main(self._ARGS)
+        out = capsys.readouterr().out
+        assert "tp 2 x 2 replicas" in out
+        assert "router prefix_affinity" in out
+        assert "check exactly_once_across_replicas: True" in out
+        assert "check tp_decode_bit_exact_vs_single_rank: True" in out
+
+    def test_executed_cluster_json(self, capsys):
+        import json
+
+        main(self._ARGS + ["--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "cluster-execute"
+        assert payload["tp"] == 2 and payload["replicas"] == 2
+        assert payload["allreduce_tax_ms"] > 0
+        assert payload["rank_attention_ms"] < payload["full_attention_ms"]
+        assert all(payload["checks"].values())
+        cluster = payload["cluster"]
+        assert cluster["completed"] == 8
+        assert cluster["cross_replica_prefix_misses"] == 0
+        assert len(cluster["per_replica"]) == 2
+
+    def test_analytical_cluster_runs(self, capsys):
+        main([
+            "serve-sim", "--tp", "2", "--replicas", "2",
+            "--router", "least_loaded", "--requests", "8", "--rate", "100",
+            "--prompt-len", "256", "--output-len", "8",
+        ])
+        out = capsys.readouterr().out
+        assert "analytical" in out
+        assert "8 done of 8" in out
+
+    def test_router_without_replicas_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve-sim", "--router", "prefix_affinity"])
+        assert exc.value.code == 2
+
+    def test_nonpositive_tp_or_replicas_exits_2(self):
+        for flags in (["--tp", "0"], ["--replicas", "0"], ["--tp", "-1"]):
+            with pytest.raises(SystemExit) as exc:
+                main(["serve-sim", "--requests", "4", *flags])
+            assert exc.value.code == 2
+
+    def test_tp_must_divide_kv_heads_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve-sim", "--model", "tiny", "--tp", "3", "--requests", "4"])
+        assert exc.value.code == 2
+
+    def test_cluster_rejects_chaos_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "serve-sim", "--model", "tiny", "--replicas", "2",
+                "--chaos", "7", "--requests", "4",
+            ])
+        assert exc.value.code == 2
+
+    def test_cluster_rejects_swap_preemption_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "serve-sim", "--model", "tiny", "--tp", "2",
+                "--preemption", "swap", "--requests", "4",
+            ])
+        assert exc.value.code == 2
